@@ -1,0 +1,569 @@
+// Experiment harness: one benchmark and one assertion test per paper
+// figure and claim. The paper is a demo paper without numbered tables,
+// so the experiment set (F1-F4 for the figures, E5-E11 for the checkable
+// claims and demo features) is defined in DESIGN.md §4 and the results
+// are recorded in EXPERIMENTS.md.
+package stethoscope
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/core"
+	"stethoscope/internal/dot"
+	"stethoscope/internal/engine"
+	"stethoscope/internal/layout"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/netproto"
+	"stethoscope/internal/optimizer"
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/svg"
+	"stethoscope/internal/tpch"
+	"stethoscope/internal/trace"
+	"stethoscope/internal/zvtm"
+)
+
+// paperQuery is the exact query of the paper's Figure 1.
+const paperQuery = "select l_tax from lineitem where l_partkey=1"
+
+// largeQuery at 64 partitions produces the >1000-node graph of Figure 2.
+const largeQuery = `select l_orderkey, l_partkey, l_suppkey, l_quantity, l_extendedprice, l_discount, l_tax, l_shipdate
+	from lineitem where l_quantity > 10 and l_discount < 0.05`
+
+var benchCat = func() *storage.Catalog {
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: 0.005, Seed: 42}); err != nil {
+		panic(err)
+	}
+	return cat
+}()
+
+func mustCompile(tb testing.TB, query string, partitions int) *mal.Plan {
+	tb.Helper()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tree, err := algebra.Bind(stmt, benchCat)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: partitions})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return plan
+}
+
+func mustTrace(tb testing.TB, plan *mal.Plan, workers int) *trace.Store {
+	tb.Helper()
+	sink := &profiler.SliceSink{}
+	prof := profiler.New(sink)
+	if _, err := engine.New(benchCat).Run(plan, engine.Options{Workers: workers, Profiler: prof}); err != nil {
+		tb.Fatal(err)
+	}
+	return trace.FromEvents(sink.Events())
+}
+
+// --- F1: Figure 1, the MAL plan of the paper's example query ---------
+
+func TestF1PlanShape(t *testing.T) {
+	plan := mustCompile(t, paperQuery, 1)
+	listing := plan.String()
+	// The plan must carry the query and lower to the bind/select/project
+	// chain of the figure.
+	for _, want := range []string{
+		"# " + paperQuery,
+		`sql.bind("sys", "lineitem", "l_partkey", 0)`,
+		`algebra.thetaselect(`,
+		`sql.bind("sys", "lineitem", "l_tax", 0)`,
+		`algebra.leftjoin(`,
+		"sql.resultSet",
+	} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("F1 plan missing %q:\n%s", want, listing)
+		}
+	}
+	// And execute correctly.
+	res, err := engine.New(benchCat).Run(plan, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() == 0 {
+		t.Error("F1 query returned no rows")
+	}
+}
+
+func BenchmarkF1PlanGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stmt, _ := sql.Parse(paperQuery)
+		tree, _ := algebra.Bind(stmt, benchCat)
+		if _, err := compiler.Compile(tree, stmt.Text, compiler.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F2: Figure 2 + claim #5, graphs beyond 1000 nodes ----------------
+
+func TestF2Over1000Nodes(t *testing.T) {
+	plan := mustCompile(t, largeQuery, 64)
+	g := dot.Export(plan)
+	if len(g.Nodes) <= 1000 {
+		t.Fatalf("F2 graph has %d nodes, want > 1000", len(g.Nodes))
+	}
+	lay, err := layout.Compute(g, layout.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lay.Positions) != len(g.Nodes) {
+		t.Fatalf("laid out %d of %d nodes", len(lay.Positions), len(g.Nodes))
+	}
+	rendered, err := svg.RenderString(g, lay, nil, svg.DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := svg.ParseString(rendered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := zvtm.FromSVG("f2", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.CountKind(zvtm.ShapeGlyph) != len(g.Nodes) {
+		t.Errorf("glyphs = %d, want %d", vs.CountKind(zvtm.ShapeGlyph), len(g.Nodes))
+	}
+}
+
+// BenchmarkF2LargeGraph measures the full pipeline (compile → dot →
+// layout → svg → glyphs) at the >1000-node scale.
+func BenchmarkF2LargeGraph(b *testing.B) {
+	plan := mustCompile(b, largeQuery, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := dot.Export(plan)
+		lay, err := layout.Compute(g, layout.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svg.RenderString(g, lay, nil, svg.DefaultStyle()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF2LayoutScaling sweeps the node count to back the interactive-
+// scale claim (ablation: layout cost vs graph size).
+func BenchmarkF2LayoutScaling(b *testing.B) {
+	for _, parts := range []int{1, 8, 32, 64} {
+		plan := mustCompile(b, largeQuery, parts)
+		g := dot.Export(plan)
+		b.Run(fmt.Sprintf("nodes=%d", len(g.Nodes)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := layout.Compute(g, layout.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F3: Figure 3, the execution trace -------------------------------
+
+func TestF3TraceRoundTrip(t *testing.T) {
+	plan := mustCompile(t, paperQuery, 1)
+	var sb strings.Builder
+	sink := profiler.NewWriterSink(&sb)
+	prof := profiler.New(sink)
+	if _, err := engine.New(benchCat).Run(plan, engine.Options{Profiler: prof}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.LoadString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two events (start + done) per instruction, per §3.3.
+	if st.Len() != 2*len(plan.Instrs) {
+		t.Fatalf("trace has %d events, want %d", st.Len(), 2*len(plan.Instrs))
+	}
+	// The pc ↔ node mapping is complete with matching labels.
+	m := trace.MapToGraph(st, dot.Export(plan))
+	if !m.Complete() {
+		t.Fatalf("mapping incomplete: %+v", m)
+	}
+}
+
+func BenchmarkF3TraceGeneration(b *testing.B) {
+	plan := mustCompile(b, paperQuery, 1)
+	eng := engine.New(benchCat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := &profiler.SliceSink{}
+		if _, err := eng.Run(plan, engine.Options{Profiler: profiler.New(sink)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F4: Figure 4, the display window --------------------------------
+
+func TestF4ColoredRender(t *testing.T) {
+	plan := mustCompile(t, paperQuery, 1)
+	st := mustTrace(t, plan, 1)
+	sess, err := core.NewSession(dot.Export(plan), st, core.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay to a midpoint: some nodes done (green), the one in flight
+	// red.
+	if err := sess.Replay.SeekTo(st.Len()/2 + 1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, string(core.ColorGreen)) {
+		t.Error("F4 render missing done (green) state")
+	}
+	if !strings.Contains(out, string(core.ColorRed)) {
+		t.Error("F4 render missing running (red) state")
+	}
+}
+
+func BenchmarkF4DisplayRender(b *testing.B) {
+	plan := mustCompile(b, paperQuery, 1)
+	st := mustTrace(b, plan, 1)
+	sess, err := core.NewSession(dot.Export(plan), st, core.SessionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Replay.FastForward(st.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.RenderSVG(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: §4.2.1 pair-elision worked example ---------------------------
+// (Correctness is asserted in internal/core's TestE5PairElisionPaperExample;
+// here we measure the algorithm at buffer scale.)
+
+func BenchmarkE5Coloring(b *testing.B) {
+	// A realistic mixed buffer: mostly fast pairs with occasional
+	// long-runners.
+	var buf []profiler.Event
+	for i := 0; i < 2048; i++ {
+		pc := i % 512
+		buf = append(buf, profiler.Event{Seq: int64(2 * i), State: profiler.StateStart, PC: pc})
+		if i%17 != 0 {
+			buf = append(buf, profiler.Event{Seq: int64(2*i + 1), State: profiler.StateDone, PC: pc})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PairElision(buf)
+	}
+}
+
+// --- E6: the 150 ms render-queue dispatch ceiling ---------------------
+
+func TestE6DispatchDelayCeiling(t *testing.T) {
+	vs := zvtm.NewVirtualSpace("e6")
+	for i := 0; i < 64; i++ {
+		vs.Add(&zvtm.Glyph{ID: fmt.Sprintf("shape:n%d", i), Kind: zvtm.ShapeGlyph, NodeID: fmt.Sprintf("n%d", i), W: 10, H: 10})
+	}
+	q := zvtm.NewRenderQueue(vs, 0) // paper default: 150 ms
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 64; i++ {
+		q.Enqueue(fmt.Sprintf("n%d", i), "#e03131", t0)
+	}
+	q.Flush(t0.Add(time.Minute))
+	delays := q.InterRenderDelays()
+	if len(delays) != 63 {
+		t.Fatalf("dispatches = %d", len(delays)+1)
+	}
+	for _, d := range delays {
+		if d > zvtm.DefaultDispatchDelay {
+			t.Fatalf("inter-render delay %v exceeds the paper's 150ms ceiling", d)
+		}
+	}
+}
+
+func BenchmarkE6RenderQueue(b *testing.B) {
+	vs := zvtm.NewVirtualSpace("e6")
+	vs.Add(&zvtm.Glyph{ID: "shape:n0", Kind: zvtm.ShapeGlyph, NodeID: "n0", W: 10, H: 10})
+	q := zvtm.NewRenderQueue(vs, time.Microsecond)
+	t0 := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue("n0", "#2f9e44", t0.Add(time.Duration(i)))
+		q.Flush(t0.Add(time.Duration(i) + time.Millisecond))
+	}
+}
+
+// --- E7: multi-core utilization and the sequential anomaly ------------
+
+func TestE7SequentialAnomaly(t *testing.T) {
+	// Per-instruction work must be large enough that the worker pool is
+	// observably busy; use a heavier catalog than the other experiments.
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: 0.05, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sql.Parse(largeQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := algebra.Bind(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOn := func(workers int) core.Utilization {
+		sink := &profiler.SliceSink{}
+		if _, err := engine.New(cat).Run(plan, engine.Options{Workers: workers, Profiler: profiler.New(sink)}); err != nil {
+			t.Fatal(err)
+		}
+		return core.Utilize(trace.FromEvents(sink.Events()))
+	}
+	par := runOn(8)
+	seq := runOn(1)
+	if seq.Threads != 1 {
+		t.Fatalf("sequential run used %d threads", seq.Threads)
+	}
+	if par.Threads < 2 {
+		t.Fatalf("parallel run used %d threads", par.Threads)
+	}
+	if !core.SequentialAnomaly(seq, 8) {
+		t.Error("sequential anomaly not flagged")
+	}
+	if core.SequentialAnomaly(par, 8) {
+		t.Error("parallel run falsely flagged")
+	}
+}
+
+func BenchmarkE7Utilization(b *testing.B) {
+	plan := mustCompile(b, largeQuery, 16)
+	st := mustTrace(b, plan, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Utilize(st)
+	}
+}
+
+// e7Cat is the heavier catalog used by the worker sweep: per-instruction
+// work must exceed the scheduler's wakeup latency for parallel speedup to
+// be observable.
+var e7Cat = func() func() *storage.Catalog {
+	var cat *storage.Catalog
+	return func() *storage.Catalog {
+		if cat == nil {
+			cat = storage.NewCatalog()
+			if err := tpch.Load(cat, tpch.Config{SF: 0.05, Seed: 42}); err != nil {
+				panic(err)
+			}
+		}
+		return cat
+	}
+}()
+
+// BenchmarkE7WorkerSweep is the ablation for the dataflow scheduler:
+// execution wall time at increasing worker counts on a 16-partition plan
+// over ~300k lineitem rows.
+func BenchmarkE7WorkerSweep(b *testing.B) {
+	cat := e7Cat()
+	stmt, _ := sql.Parse(largeQuery)
+	tree, err := algebra.Bind(stmt, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(cat)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(plan, engine.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E8: UDP streaming to the textual Stethoscope ---------------------
+
+func BenchmarkE8UDPStream(b *testing.B) {
+	received := make(chan struct{}, 1<<20)
+	l, err := netproto.Listen("127.0.0.1:0", func(from string, m netproto.Msg) {
+		received <- struct{}{}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	s, err := netproto.Dial(l.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	e := profiler.Event{Seq: 1, State: profiler.StateDone, PC: 3, DurUs: 120,
+		Stmt: `X_5:bat[:oid] := algebra.thetaselect(X_1, "=", 1);`}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(e)
+	}
+	b.StopTimer()
+	// Drain what arrived (UDP may drop; throughput is the send side).
+	for {
+		select {
+		case <-received:
+		default:
+			return
+		}
+	}
+}
+
+// --- E9: replay controls ----------------------------------------------
+
+func BenchmarkE9Replay(b *testing.B) {
+	plan := mustCompile(b, largeQuery, 8)
+	st := mustTrace(b, plan, 4)
+	sess, err := core.NewSession(dot.Export(plan), st, core.SessionOptions{DispatchDelay: time.Nanosecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Replay.FastForward(st.Len())
+		sess.Replay.Rewind(st.Len())
+	}
+}
+
+// --- E10: threshold vs pair-elision coloring --------------------------
+
+func TestE10ThresholdFindsWhatPairElisionFinds(t *testing.T) {
+	// A trace where pc=9 runs 100x longer than everything else.
+	var buf []profiler.Event
+	clk := int64(0)
+	seq := int64(0)
+	emit := func(pc int, dur int64) {
+		buf = append(buf, profiler.Event{Seq: seq, State: profiler.StateStart, PC: pc, ClkUs: clk})
+		seq++
+		clk += dur
+		buf = append(buf, profiler.Event{Seq: seq, State: profiler.StateDone, PC: pc, ClkUs: clk, DurUs: dur})
+		seq++
+	}
+	for pc := 0; pc < 9; pc++ {
+		emit(pc, 10)
+	}
+	emit(9, 1000)
+	th := core.Threshold(buf, 500)
+	if len(th) != 1 || th[9] != core.ColorGreen {
+		t.Errorf("threshold = %v", th)
+	}
+	// Pair-elision cannot flag it (the pair is adjacent) — that is the
+	// documented trade-off between the two algorithms: pair-elision
+	// detects blocking concurrency patterns, threshold detects absolute
+	// cost.
+	pe := core.PairElision(buf)
+	if len(pe) != 0 {
+		t.Errorf("pair elision on adjacent pairs = %v", pe)
+	}
+}
+
+func BenchmarkE10Threshold(b *testing.B) {
+	plan := mustCompile(b, largeQuery, 16)
+	st := mustTrace(b, plan, 4)
+	evs := st.Events()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Threshold(evs, 100)
+	}
+}
+
+// --- E11: future-work features: gradient coloring + plan pruning ------
+
+func TestE11GradientAndPruning(t *testing.T) {
+	plan := mustCompile(t, paperQuery, 1)
+	st := mustTrace(t, plan, 1)
+	coloring, stops := core.Gradient(st.Events())
+	if len(coloring) == 0 || len(stops) == 0 {
+		t.Fatal("gradient produced nothing")
+	}
+	// Legend is sorted by decreasing duration.
+	for i := 1; i < len(stops); i++ {
+		if stops[i].DurUs > stops[i-1].DurUs {
+			t.Fatal("gradient legend out of order")
+		}
+	}
+
+	// Pruning removes the administrative prologue/epilogue.
+	pruned, remap := mal.Prune(plan)
+	if len(pruned.Instrs) >= len(plan.Instrs) {
+		t.Fatalf("pruning removed nothing: %d -> %d", len(plan.Instrs), len(pruned.Instrs))
+	}
+	for _, in := range pruned.Instrs {
+		if in.Module == "querylog" {
+			t.Error("admin instruction survived pruning")
+		}
+	}
+	// Remapped trace events still land on valid pruned nodes.
+	g := dot.Export(pruned)
+	for oldPC, newPC := range remap {
+		if _, ok := g.Node(dot.NodeID(newPC)); !ok {
+			t.Errorf("remap %d->%d points at missing node", oldPC, newPC)
+		}
+	}
+}
+
+func BenchmarkE11Pruning(b *testing.B) {
+	plan := mustCompile(b, largeQuery, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mal.Prune(plan)
+	}
+}
+
+// --- Optimizer ablation ------------------------------------------------
+
+func BenchmarkOptimizerPipeline(b *testing.B) {
+	plan := mustCompile(b, largeQuery, 16)
+	pipe := optimizer.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pipe.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMitosisSweep is the ablation for the partition count: plan
+// size and compile cost per partitioning degree.
+func BenchmarkMitosisSweep(b *testing.B) {
+	for _, parts := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustCompile(b, largeQuery, parts)
+			}
+		})
+	}
+}

@@ -1,0 +1,144 @@
+// Command maldbg is the GDB-like MAL debugger (paper §2: "MonetDB
+// provides a GDB-like MAL debugger for runtime inspection") — the
+// textual tool Stethoscope improves on. It compiles a query and opens an
+// interactive stepping session.
+//
+// Usage:
+//
+//	maldbg -q "select l_tax from lineitem where l_partkey=1" [-partitions 4]
+//
+// Commands: list | step (s) | continue (c) | break <pc> | breakmod <m> |
+// print <X_n> | result | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/engine"
+	"stethoscope/internal/server"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/tpch"
+)
+
+func main() {
+	query := flag.String("q", "select l_tax from lineitem where l_partkey=1", "SQL query to debug")
+	partitions := flag.Int("partitions", 1, "mitosis partitions")
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
+	flag.Parse()
+
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: *sf, Seed: 42}); err != nil {
+		log.Fatal(err)
+	}
+	stmt, err := sql.Parse(*query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := algebra.Bind(stmt, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: *partitions})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(cat)
+	dbg, err := engine.NewDebugger(eng, plan, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mal debugger: %d instructions; 'list' to view, 'help' for commands\n", len(plan.Instrs))
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("(maldbg pc=%d) ", dbg.PC())
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "help", "h":
+			fmt.Println("list | step (s) | continue (c) | break <pc> | breakmod <module> | clear | print <X_n> | result | quit")
+		case "list", "l":
+			fmt.Print(dbg.Listing())
+		case "step", "s":
+			in, ok, err := dbg.Step()
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case !ok:
+				fmt.Println("plan finished")
+			default:
+				fmt.Printf("executed [%d] %s\n", in.PC, in.Name())
+			}
+		case "continue", "c":
+			stopped, err := dbg.Continue()
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case stopped == nil:
+				fmt.Println("plan finished")
+			default:
+				fmt.Printf("breakpoint at [%d] %s\n", stopped.PC, stopped.Name())
+			}
+		case "break", "b":
+			if len(fields) != 2 {
+				fmt.Println("usage: break <pc>")
+				continue
+			}
+			pc, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("bad pc:", fields[1])
+				continue
+			}
+			if err := dbg.BreakAt(pc); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "breakmod":
+			if len(fields) != 2 {
+				fmt.Println("usage: breakmod <module>")
+				continue
+			}
+			dbg.BreakModule(fields[1])
+		case "clear":
+			dbg.ClearBreakpoints()
+		case "print", "p":
+			if len(fields) != 2 {
+				fmt.Println("usage: print <X_n>")
+				continue
+			}
+			desc, err := dbg.InspectByName(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(desc)
+		case "result", "r":
+			res := dbg.Result()
+			if res == nil {
+				fmt.Println("plan not finished")
+				continue
+			}
+			w := bufio.NewWriter(os.Stdout)
+			server.WriteResult(w, res)
+			w.Flush()
+		case "quit", "q", "exit":
+			return
+		default:
+			fmt.Printf("unknown command %q (try help)\n", fields[0])
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command mserver runs the reproduction's MonetDB-like database server:
+// it loads a synthetic TPC-H catalog and serves the Stethoscope protocol
+// over TCP (queries, EXPLAIN, dot export, profiler UDP streaming).
+//
+// Usage:
+//
+//	mserver -addr 127.0.0.1:50000 -sf 0.01 -name demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"stethoscope/internal/server"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:50000", "TCP listen address")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	seed := flag.Uint64("seed", 42, "data generator seed")
+	name := flag.String("name", "mserver", "server name announced to clients")
+	flag.Parse()
+
+	cat := storage.NewCatalog()
+	log.Printf("generating TPC-H data at SF=%g ...", *sf)
+	if err := tpch.Load(cat, tpch.Config{SF: *sf, Seed: *seed}); err != nil {
+		log.Fatalf("tpch: %v", err)
+	}
+	for _, t := range cat.TableNames() {
+		tab, _ := cat.Table("sys", t[len("sys."):])
+		log.Printf("  %-14s %8d rows", t, tab.Rows())
+	}
+
+	srv := server.New(*name, cat)
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("mserver %q listening on %s\n", *name, srv.Addr())
+	fmt.Println("protocol: SET partitions|workers N / TRACE udpaddr / FILTER ... / EXPLAIN sql / DOT sql / QUERY sql / TABLES / QUIT")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,182 @@
+// Command stethoscope is the analysis client of the reproduction. It
+// runs in the paper's two modes:
+//
+// Offline — analyze a pre-existing dot + trace pair:
+//
+//	stethoscope -dot plan.dot -trace plan.trace [-svg out.svg]
+//	            [-color pair|threshold|gradient] [-threshold-us 1000]
+//
+// Online — attach to a running mserver, execute a query, and analyze the
+// live stream:
+//
+//	stethoscope -server 127.0.0.1:50000 -query "select ..." \
+//	            [-partitions 8] [-workers 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"stethoscope/internal/ascii"
+	"stethoscope/internal/core"
+	"stethoscope/internal/server"
+)
+
+func main() {
+	dotPath := flag.String("dot", "", "offline: dot file path")
+	tracePath := flag.String("trace", "", "offline: trace file path")
+	svgPath := flag.String("svg", "", "write the colored display window as SVG")
+	colorAlgo := flag.String("color", "pair", "coloring algorithm: pair, threshold, gradient")
+	thresholdUs := flag.Int64("threshold-us", 1000, "threshold for -color threshold")
+	serverAddr := flag.String("server", "", "online: mserver TCP address")
+	query := flag.String("query", "select l_tax from lineitem where l_partkey=1", "online: query to run")
+	partitions := flag.Int("partitions", 4, "online: mitosis partitions")
+	workers := flag.Int("workers", 4, "online: dataflow workers")
+	width := flag.Int("width", 120, "terminal render width")
+	ansi := flag.Bool("ansi", false, "colorize terminal output")
+	topK := flag.Int("top", 10, "costly instructions to list")
+	flag.Parse()
+
+	switch {
+	case *dotPath != "" && *tracePath != "":
+		offline(*dotPath, *tracePath, *svgPath, *colorAlgo, *thresholdUs, *width, *ansi, *topK)
+	case *serverAddr != "":
+		online(*serverAddr, *query, *partitions, *workers, *svgPath, *width, *ansi, *topK)
+	default:
+		fmt.Fprintln(os.Stderr, "need either -dot/-trace (offline) or -server (online)")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func offline(dotPath, tracePath, svgPath, colorAlgo string, thresholdUs int64, width int, ansi0 bool, topK int) {
+	dotText, err := os.ReadFile(dotPath)
+	if err != nil {
+		log.Fatalf("read dot: %v", err)
+	}
+	traceText, err := os.ReadFile(tracePath)
+	if err != nil {
+		log.Fatalf("read trace: %v", err)
+	}
+	sess, err := core.OpenOffline(string(dotText), string(traceText), core.SessionOptions{})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	report(sess, colorAlgo, thresholdUs, svgPath, width, ansi0, topK)
+}
+
+func online(addr, query string, partitions, workers int, svgPath string, width int, ansi0 bool, topK int) {
+	ts, err := core.StartTextual("127.0.0.1:0", 4096)
+	if err != nil {
+		log.Fatalf("textual stethoscope: %v", err)
+	}
+	defer ts.Close()
+	fmt.Printf("textual stethoscope listening on %s\n", ts.Addr())
+
+	c, err := server.DialServer(addr)
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer c.Close()
+	for _, cmd := range []string{
+		"TRACE " + ts.Addr(),
+		fmt.Sprintf("SET partitions %d", partitions),
+		fmt.Sprintf("SET workers %d", workers),
+	} {
+		if _, _, err := c.Command(cmd); err != nil {
+			log.Fatalf("%s: %v", cmd, err)
+		}
+	}
+	fmt.Printf("running: %s\n", query)
+	if _, rows, err := c.Command("QUERY " + query); err != nil {
+		log.Fatalf("query: %v", err)
+	} else {
+		fmt.Printf("result: %d data rows\n", max(0, len(rows)-1))
+	}
+
+	// Wait for the stream to complete (dot + events).
+	deadline := time.Now().Add(10 * time.Second)
+	var srvAddr string
+	for time.Now().Before(deadline) && srvAddr == "" {
+		for _, a := range ts.Servers() {
+			ss, _ := ts.Server(a)
+			if _, err := ss.Graph(); err == nil && len(ss.Events()) > 0 {
+				srvAddr = a
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srvAddr == "" {
+		log.Fatal("no complete stream received")
+	}
+	// Allow stragglers to drain.
+	time.Sleep(100 * time.Millisecond)
+	sess, err := ts.OpenOnlineSession(srvAddr, core.SessionOptions{})
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+	report(sess, "pair", 1000, svgPath, width, ansi0, topK)
+}
+
+func report(sess *core.Session, colorAlgo string, thresholdUs int64, svgPath string, width int, ansi0 bool, topK int) {
+	opt := ascii.Options{Width: width, ANSI: ansi0}
+
+	var coloring core.Coloring
+	switch colorAlgo {
+	case "threshold":
+		coloring = core.Threshold(sess.Trace.Events(), thresholdUs)
+	case "gradient":
+		coloring, _ = core.Gradient(sess.Trace.Events())
+	default:
+		coloring = core.PairElision(sess.Trace.Events())
+	}
+
+	fmt.Printf("\n=== plan graph (%d nodes, %d edges; coloring: %s) ===\n",
+		len(sess.Graph.Nodes), len(sess.Graph.Edges), colorAlgo)
+	fmt.Print(ascii.RenderGraph(sess.Graph, sess.Layout, coloring.Fills(), opt))
+
+	fmt.Println("\n=== costly instructions ===")
+	fmt.Print(ascii.RenderCostly(core.TopCostly(sess.Trace, topK), opt))
+
+	fmt.Println("\n=== multi-core utilization ===")
+	fmt.Print(ascii.RenderUtilization(core.Utilize(sess.Trace), opt))
+
+	fmt.Println("\n=== birds-eye view ===")
+	fmt.Print(ascii.RenderBirdsEye(core.BirdsEye(sess.Trace, 8), opt))
+
+	fmt.Println("\n=== thread timeline ===")
+	fmt.Print(ascii.RenderGantt(core.ThreadTimeline(sess.Trace), opt))
+
+	fmt.Println("\n=== micro analysis ===")
+	fmt.Print(core.MicroReport(sess.Trace))
+
+	if !sess.Mapping.Complete() {
+		fmt.Printf("\nwarning: %d unmatched pcs, %d label mismatches\n",
+			len(sess.Mapping.Unmatched), len(sess.Mapping.LabelMismatches))
+	}
+
+	if svgPath != "" {
+		// Apply the chosen coloring to the glyph space and render.
+		for pc, color := range coloring {
+			sess.Space.SetNodeColor(fmt.Sprintf("n%d", pc), string(color))
+		}
+		out, err := sess.RenderSVG()
+		if err != nil {
+			log.Fatalf("svg: %v", err)
+		}
+		if err := os.WriteFile(svgPath, []byte(out), 0o644); err != nil {
+			log.Fatalf("write svg: %v", err)
+		}
+		fmt.Printf("\ndisplay window written to %s\n", svgPath)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+// Command tracegen produces matched dot-file and trace-file pairs for
+// offline Stethoscope analysis: it compiles a SQL query against a
+// synthetic TPC-H catalog, executes it under the profiler, and writes
+// <out>.dot and <out>.trace.
+//
+// Usage:
+//
+//	tracegen -q "select l_tax from lineitem where l_partkey=1" -o plan \
+//	         -partitions 8 -workers 4 -sf 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/dot"
+	"stethoscope/internal/engine"
+	"stethoscope/internal/optimizer"
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/tpch"
+)
+
+func main() {
+	query := flag.String("q", "select l_tax from lineitem where l_partkey=1", "SQL query")
+	out := flag.String("o", "plan", "output file prefix")
+	partitions := flag.Int("partitions", 1, "mitosis partition count")
+	workers := flag.Int("workers", 1, "dataflow worker count")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	seed := flag.Uint64("seed", 42, "data generator seed")
+	flag.Parse()
+
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: *sf, Seed: *seed}); err != nil {
+		log.Fatalf("tpch: %v", err)
+	}
+
+	stmt, err := sql.Parse(*query)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	tree, err := algebra.Bind(stmt, cat)
+	if err != nil {
+		log.Fatalf("bind: %v", err)
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: *partitions})
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	plan, stats, err := optimizer.Default().Run(plan)
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+	log.Println(stats)
+
+	dotPath := *out + ".dot"
+	if err := os.WriteFile(dotPath, []byte(dot.Export(plan).Marshal()), 0o644); err != nil {
+		log.Fatalf("write dot: %v", err)
+	}
+
+	tracePath := *out + ".trace"
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatalf("create trace: %v", err)
+	}
+	sink := profiler.NewWriterSink(f)
+	prof := profiler.New(sink)
+
+	eng := engine.New(cat)
+	res, err := eng.Run(plan, engine.Options{Workers: *workers, Profiler: prof})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	if err := sink.Flush(); err != nil {
+		log.Fatalf("flush: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+
+	fmt.Printf("query returned %d rows\n", res.Rows())
+	fmt.Printf("plan: %d instructions -> %s\n", len(plan.Instrs), dotPath)
+	fmt.Printf("trace: %d events      -> %s\n", 2*len(plan.Instrs), tracePath)
+}

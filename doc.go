@@ -1,0 +1,34 @@
+// Package stethoscope is a from-scratch Go reproduction of
+// "Stethoscope: A platform for interactive visual analysis of query
+// execution plans" (Gawade & Kersten, PVLDB 2012).
+//
+// The paper's tool inspects MonetDB query execution: MAL plans rendered
+// as dataflow DAGs, animated with profiler traces, online (UDP stream
+// from the server) and offline (dot + trace files). This module rebuilds
+// the entire stack in Go:
+//
+//   - internal/storage, internal/tpch — BAT columnar store and synthetic
+//     TPC-H data (the substrate MonetDB provides in the original);
+//   - internal/sql, internal/algebra, internal/compiler,
+//     internal/optimizer — SQL → relational algebra → MAL lowering with
+//     mitosis/mergetable partitioning and a MAL optimizer pipeline;
+//   - internal/mal, internal/engine, internal/profiler — the MAL language,
+//     a sequential + multi-core dataflow interpreter, and the per-
+//     instruction start/done event profiler;
+//   - internal/dot, internal/layout, internal/svg — the dot-file stage,
+//     a layered layout engine (GraphViz substitute), and the intermediate
+//     SVG representation;
+//   - internal/zvtm — the ZVTM/ZGrviewer object model: glyphs, virtual
+//     spaces, cameras, fisheye lenses, animations, and the EDT-style
+//     render queue with the paper's 150 ms dispatch ceiling;
+//   - internal/core — Stethoscope proper: pair-elision and threshold
+//     coloring (§4.2.1), trace replay, birds-eye clustering, utilization
+//     analysis, tooltips/debug data, and the online textual Stethoscope;
+//   - internal/netproto, internal/server — the UDP event stream and the
+//     Mserver TCP front-end;
+//   - internal/ascii — the headless display window.
+//
+// The benchmarks in bench_test.go regenerate every figure and checkable
+// claim of the paper; EXPERIMENTS.md records the results. See DESIGN.md
+// for the full system inventory and the substitution notes.
+package stethoscope

@@ -1,0 +1,127 @@
+// Offline replay: the paper's offline demo. A dot + trace pair is
+// produced (as cmd/tracegen would), written to disk, reopened with
+// core.OpenOffline, and then driven interactively: step-by-step
+// walk-through, fast-forward, rewind, pause, coloring between two
+// instruction states, and the birds-eye view of the whole trace.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/ascii"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/core"
+	"stethoscope/internal/dot"
+	"stethoscope/internal/engine"
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/tpch"
+)
+
+func main() {
+	const query = `select l_returnflag, sum(l_quantity) as qty, count(*) as n
+		from lineitem where l_quantity > 10 group by l_returnflag order by l_returnflag`
+
+	// Produce the offline artifacts: <dir>/plan.dot and <dir>/plan.trace.
+	dir, err := os.MkdirTemp("", "stethoscope-offline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dotPath := filepath.Join(dir, "plan.dot")
+	tracePath := filepath.Join(dir, "plan.trace")
+
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: 0.005, Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := algebra.Bind(stmt, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(dotPath, []byte(dot.Export(plan).Marshal()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := profiler.NewWriterSink(f)
+	if _, err := engine.New(cat).Run(plan, engine.Options{Workers: 4, Profiler: profiler.New(sink)}); err != nil {
+		log.Fatal(err)
+	}
+	sink.Flush()
+	f.Close()
+	fmt.Printf("wrote %s and %s\n", dotPath, tracePath)
+
+	// Offline mode proper: open the files.
+	dotText, _ := os.ReadFile(dotPath)
+	traceText, _ := os.ReadFile(tracePath)
+	sess, err := core.OpenOffline(string(dotText), string(traceText), core.SessionOptions{
+		DispatchDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opened session: %d nodes, %d trace events, mapping complete: %v\n",
+		len(sess.Graph.Nodes), sess.Trace.Len(), sess.Mapping.Complete())
+
+	// Step-by-step walk-through of the first events.
+	now := time.Unix(0, 0)
+	fmt.Println("\n== step-by-step ==")
+	for i := 0; i < 4; i++ {
+		e, ok := sess.Replay.Step(now)
+		if !ok {
+			break
+		}
+		fmt.Printf("step %d: %s pc=%d %s\n", i+1, e.State, e.PC, e.Stmt)
+	}
+	sess.Queue.Flush(now.Add(time.Minute))
+
+	// Fast-forward through half the trace, render, rewind a bit.
+	sess.Replay.FastForward(sess.Trace.Len()/2 - 4)
+	fmt.Printf("\n== display at the midpoint (position %d/%d) ==\n",
+		sess.Replay.Position(), sess.Replay.Len())
+	fmt.Print(ascii.RenderGraph(sess.Graph, sess.Layout, sess.Fills(), ascii.Options{Width: 120}))
+
+	sess.Replay.Rewind(10)
+	fmt.Printf("rewound to position %d\n", sess.Replay.Position())
+
+	// Coloring between two instruction states (pair-elision on a window).
+	from, to := 0, sess.Trace.Len()/2
+	coloring, err := sess.Replay.ColorBetween(from, to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== pair-elision coloring on window [%d,%d): %d nodes flagged ==\n", from, to, len(coloring))
+	for pc, c := range coloring {
+		fmt.Printf("  pc=%d -> %s\n", pc, c)
+		if len(coloring) > 8 {
+			break
+		}
+	}
+
+	// Birds-eye view of the whole trace.
+	fmt.Println("\n== birds-eye view ==")
+	fmt.Print(ascii.RenderBirdsEye(core.BirdsEye(sess.Trace, 6), ascii.DefaultOptions()))
+
+	// Threshold coloring for comparison (the paper's second algorithm).
+	th := core.Threshold(sess.Trace.Events(), 200)
+	fmt.Printf("\nthreshold(200us) flags %d instructions\n", len(th))
+
+	fmt.Println("\noffline replay OK")
+}

@@ -1,0 +1,92 @@
+// TPC-H workload sweep: runs the adapted TPC-H query set (the "long
+// running TPC-H queries" of the paper's demo) through the full pipeline
+// and prints, per query, the plan size, the execution profile, the
+// costliest instruction, the module breakdown and the thread Gantt — the
+// report a performance engineer would pull from Stethoscope.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/ascii"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/core"
+	"stethoscope/internal/engine"
+	"stethoscope/internal/optimizer"
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/tpch"
+	"stethoscope/internal/trace"
+)
+
+func main() {
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: 0.01, Seed: 2012}); err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(cat)
+	opt := ascii.Options{Width: 100}
+
+	for _, q := range tpch.Queries() {
+		fmt.Printf("\n================ %s — %s ================\n", q.ID, q.Name)
+		if q.Adapted != "" {
+			fmt.Printf("(adapted: %s)\n", q.Adapted)
+		}
+
+		stmt, err := sql.Parse(q.SQL)
+		if err != nil {
+			log.Fatalf("%s: %v", q.ID, err)
+		}
+		tree, err := algebra.Bind(stmt, cat)
+		if err != nil {
+			log.Fatalf("%s: %v", q.ID, err)
+		}
+		plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: 8})
+		if err != nil {
+			log.Fatalf("%s: %v", q.ID, err)
+		}
+		plan, stats, err := optimizer.Default().Run(plan)
+		if err != nil {
+			log.Fatalf("%s: %v", q.ID, err)
+		}
+
+		sink := &profiler.SliceSink{}
+		start := time.Now()
+		res, err := eng.Run(plan, engine.Options{Workers: 4, Profiler: profiler.New(sink)})
+		if err != nil {
+			log.Fatalf("%s: %v", q.ID, err)
+		}
+		elapsed := time.Since(start)
+		st := trace.FromEvents(sink.Events())
+
+		fmt.Printf("plan: %d instructions (%s); result: %d rows in %v\n",
+			len(plan.Instrs), stats, res.Rows(), elapsed.Round(time.Microsecond))
+
+		top := core.TopCostly(st, 3)
+		fmt.Println("costliest instructions:")
+		fmt.Print(ascii.RenderCostly(top, opt))
+
+		u := core.Utilize(st)
+		fmt.Printf("parallelism %.2f over %d threads\n", u.Parallelism, u.Threads)
+		fmt.Print(ascii.RenderGantt(core.ThreadTimeline(st), opt))
+
+		mods := core.ModuleBreakdown(st)
+		if len(mods) > 0 {
+			fmt.Printf("dominant module: %s (%.0f%% of %dus busy time)\n",
+				mods[0].Module, mods[0].Share*100, busyTotal(mods))
+		}
+	}
+	fmt.Println("\ntpch workload OK")
+}
+
+func busyTotal(mods []core.ModuleStat) int64 {
+	var t int64
+	for _, m := range mods {
+		t += m.BusyUs
+	}
+	return t
+}

@@ -1,0 +1,313 @@
+// Package algebra implements the relational-algebra layer of the
+// reproduction. MonetDB parses SQL into a relational algebra tree before
+// lowering it to MAL (paper §2); this package is that middle stage: it
+// binds a sql.SelectStmt against the storage catalog, resolves and type-
+// checks every expression, extracts equi-join keys, pushes single-table
+// filters below joins, and produces a typed operator tree for
+// internal/compiler to lower.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"stethoscope/internal/storage"
+)
+
+// Col describes one column of a relation's schema: its qualifier (table
+// alias), name and storage kind.
+type Col struct {
+	Qual string
+	Name string
+	Kind storage.Kind
+}
+
+// QName returns the qualified "alias.column" display name.
+func (c Col) QName() string {
+	if c.Qual != "" {
+		return c.Qual + "." + c.Name
+	}
+	return c.Name
+}
+
+// Schema is an ordered column list.
+type Schema []Col
+
+// Find resolves a possibly-qualified column reference to its ordinal.
+// Unqualified names must be unambiguous.
+func (s Schema) Find(qual, name string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if c.Name != name {
+			continue
+		}
+		if qual != "" && c.Qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("algebra: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		ref := name
+		if qual != "" {
+			ref = qual + "." + name
+		}
+		return -1, fmt.Errorf("algebra: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// Expr is a bound, typed expression over a relation's columns.
+type Expr interface {
+	Kind() storage.Kind
+	String() string
+}
+
+// ColIdx references the input relation's column by ordinal.
+type ColIdx struct {
+	Idx int
+	Col Col
+}
+
+func (c *ColIdx) Kind() storage.Kind { return c.Col.Kind }
+func (c *ColIdx) String() string     { return c.Col.QName() }
+
+// Const is a typed literal.
+type Const struct {
+	K storage.Kind
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+func (c *Const) Kind() storage.Kind { return c.K }
+func (c *Const) String() string {
+	switch c.K {
+	case storage.Flt:
+		return fmt.Sprintf("%g", c.F)
+	case storage.Str:
+		return "'" + c.S + "'"
+	case storage.Bool:
+		return fmt.Sprintf("%v", c.B)
+	default:
+		return fmt.Sprintf("%d", c.I)
+	}
+}
+
+// Val converts the constant to a storage comparison operand.
+func (c *Const) Val() storage.Val {
+	return storage.Val{Kind: c.K, I: c.I, F: c.F, S: c.S, B: c.B}
+}
+
+// Bin is a typed binary operation; Op is one of + - * / = != < <= > >=
+// and or.
+type Bin struct {
+	Op   string
+	L, R Expr
+	K    storage.Kind
+}
+
+func (b *Bin) Kind() storage.Kind { return b.K }
+func (b *Bin) String() string     { return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")" }
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+func (n *Not) Kind() storage.Kind { return storage.Bool }
+func (n *Not) String() string     { return "not " + n.E.String() }
+
+// Between is e between lo and hi, inclusive.
+type Between struct{ E, Lo, Hi Expr }
+
+func (b *Between) Kind() storage.Kind { return storage.Bool }
+func (b *Between) String() string {
+	return b.E.String() + " between " + b.Lo.String() + " and " + b.Hi.String()
+}
+
+// Like is a SQL LIKE match of a string expression against a constant
+// pattern with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern string
+}
+
+func (l *Like) Kind() storage.Kind { return storage.Bool }
+func (l *Like) String() string     { return l.E.String() + " like '" + l.Pattern + "'" }
+
+// Node is a relational operator; Schema describes its output relation.
+type Node interface {
+	Schema() Schema
+	Describe() string
+}
+
+// Scan reads the needed columns of one base table.
+type Scan struct {
+	SchemaName string
+	Table      string
+	Alias      string
+	Out        Schema
+}
+
+func (s *Scan) Schema() Schema   { return s.Out }
+func (s *Scan) Describe() string { return "scan " + s.SchemaName + "." + s.Table + " as " + s.Alias }
+
+// Filter keeps rows where Pred (boolean) holds.
+type Filter struct {
+	Input Node
+	Pred  Expr
+}
+
+func (f *Filter) Schema() Schema   { return f.Input.Schema() }
+func (f *Filter) Describe() string { return "filter " + f.Pred.String() }
+
+// Join is an equi-join on one key pair (ordinals into the left and right
+// input schemas); output schema is L ++ R.
+type Join struct {
+	L, R       Node
+	LKey, RKey int
+	out        Schema
+}
+
+func (j *Join) Schema() Schema {
+	if j.out == nil {
+		j.out = append(append(Schema{}, j.L.Schema()...), j.R.Schema()...)
+	}
+	return j.out
+}
+
+func (j *Join) Describe() string {
+	return fmt.Sprintf("join on %s = %s", j.L.Schema()[j.LKey].QName(), j.R.Schema()[j.RKey].QName())
+}
+
+// AggSpec is one aggregate output of a GroupAgg.
+type AggSpec struct {
+	Func      storage.AggrKind
+	Arg       Expr // nil for count(*)
+	CountStar bool
+	Name      string
+	K         storage.Kind
+}
+
+// GroupAgg groups by Keys and computes Aggs per group. Output schema is
+// keys (named KeyNames) followed by aggregates.
+type GroupAgg struct {
+	Input    Node
+	Keys     []Expr
+	KeyNames []string
+	Aggs     []AggSpec
+	out      Schema
+}
+
+func (g *GroupAgg) Schema() Schema {
+	if g.out == nil {
+		for i, k := range g.Keys {
+			g.out = append(g.out, Col{Name: g.KeyNames[i], Kind: k.Kind()})
+		}
+		for _, a := range g.Aggs {
+			g.out = append(g.out, Col{Name: a.Name, Kind: a.K})
+		}
+	}
+	return g.out
+}
+
+func (g *GroupAgg) Describe() string {
+	var parts []string
+	for _, k := range g.Keys {
+		parts = append(parts, k.String())
+	}
+	return "group by " + strings.Join(parts, ", ")
+}
+
+// Project computes the output expressions.
+type Project struct {
+	Input Node
+	Exprs []Expr
+	Names []string
+	out   Schema
+}
+
+func (p *Project) Schema() Schema {
+	if p.out == nil {
+		for i, e := range p.Exprs {
+			p.out = append(p.out, Col{Name: p.Names[i], Kind: e.Kind()})
+		}
+	}
+	return p.out
+}
+
+func (p *Project) Describe() string { return "project " + strings.Join(p.Names, ", ") }
+
+// Distinct removes duplicate output rows.
+type Distinct struct{ Input Node }
+
+func (d *Distinct) Schema() Schema   { return d.Input.Schema() }
+func (d *Distinct) Describe() string { return "distinct" }
+
+// SortKey orders by the given output ordinal.
+type SortKey struct {
+	Idx  int
+	Desc bool
+}
+
+// Sort orders rows by the given keys (ordinals into the input schema),
+// first key most significant.
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+}
+
+func (s *Sort) Schema() Schema { return s.Input.Schema() }
+func (s *Sort) Describe() string {
+	var parts []string
+	for _, k := range s.Keys {
+		d := "asc"
+		if k.Desc {
+			d = "desc"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", s.Input.Schema()[k.Idx].QName(), d))
+	}
+	return "sort " + strings.Join(parts, ", ")
+}
+
+// Limit keeps the first N rows.
+type Limit struct {
+	Input Node
+	N     int64
+}
+
+func (l *Limit) Schema() Schema   { return l.Input.Schema() }
+func (l *Limit) Describe() string { return fmt.Sprintf("limit %d", l.N) }
+
+// Tree renders the operator tree as an indented listing, for debugging
+// and the server's EXPLAIN-style output.
+func Tree(n Node) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Describe())
+		b.WriteByte('\n')
+		switch t := n.(type) {
+		case *Filter:
+			walk(t.Input, depth+1)
+		case *Join:
+			walk(t.L, depth+1)
+			walk(t.R, depth+1)
+		case *GroupAgg:
+			walk(t.Input, depth+1)
+		case *Project:
+			walk(t.Input, depth+1)
+		case *Distinct:
+			walk(t.Input, depth+1)
+		case *Sort:
+			walk(t.Input, depth+1)
+		case *Limit:
+			walk(t.Input, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}

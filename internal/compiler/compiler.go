@@ -1,0 +1,701 @@
+// Package compiler lowers a bound relational-algebra tree to a MAL plan,
+// the representation Stethoscope visualizes. Code generation follows
+// MonetDB's column-at-a-time style: every relational operator expands into
+// per-column MAL instructions (sql.bind, algebra.select, algebra.leftjoin,
+// group.subgroup, aggr.sub*, ...), so even modest queries produce the rich
+// dataflow DAGs the paper's figures show.
+//
+// The Partitions option implements mitosis + mergetable: scan/filter
+// pipelines are split into horizontal slices (mat.slice), processed
+// independently, and reassembled (mat.pack). MonetDB performs this as a
+// MAL optimizer; we perform it at lowering time, which yields the same
+// plan shape — wide independent slices that the engine's dataflow
+// scheduler runs on multiple cores (experiments F2 and E7).
+package compiler
+
+import (
+	"fmt"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/storage"
+)
+
+// Options controls code generation.
+type Options struct {
+	// Partitions is the mitosis fan-out; values <= 1 disable partitioning.
+	Partitions int
+}
+
+// Compile lowers the tree to MAL. queryText is carried on the plan for
+// display (the paper shows it as a header comment on the listing).
+func Compile(tree algebra.Node, queryText string, opt Options) (*mal.Plan, error) {
+	if opt.Partitions < 1 {
+		opt.Partitions = 1
+	}
+	c := &compiler{plan: mal.NewPlan(queryText), opt: opt}
+	c.prologue(queryText)
+	r, err := c.lower(tree)
+	if err != nil {
+		return nil, err
+	}
+	c.epilogue(r)
+	c.plan.Renumber()
+	if err := c.plan.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: generated invalid plan: %w", err)
+	}
+	return c.plan, nil
+}
+
+// rel is a materialized intermediate relation: one aligned MAL BAT
+// variable per schema column.
+type rel struct {
+	schema algebra.Schema
+	cols   []int
+}
+
+type compiler struct {
+	plan *mal.Plan
+	opt  Options
+}
+
+// operand is a compiled scalar-or-column expression: either a MAL
+// variable holding a BAT or an inline constant.
+type operand struct {
+	varID int // -1 when constant
+	cnst  mal.Value
+	kind  storage.Kind
+}
+
+func (o operand) isConst() bool { return o.varID < 0 }
+
+func (o operand) arg() mal.Arg {
+	if o.isConst() {
+		return mal.ConstOf(o.cnst)
+	}
+	return mal.VarArg(o.varID)
+}
+
+func kindToMAL(k storage.Kind) mal.Type {
+	switch k {
+	case storage.Int:
+		return mal.TInt
+	case storage.Flt:
+		return mal.TFlt
+	case storage.Str:
+		return mal.TStr
+	case storage.Bool:
+		return mal.TBool
+	case storage.Date:
+		return mal.TDate
+	default:
+		return mal.TOID
+	}
+}
+
+func kindToBAT(k storage.Kind) mal.Type { return mal.BATOf(kindToMAL(k)) }
+
+func constValue(c *algebra.Const) mal.Value {
+	switch c.K {
+	case storage.Flt:
+		return mal.Float64(c.F)
+	case storage.Str:
+		return mal.Str(c.S)
+	case storage.Bool:
+		return mal.Bool(c.B)
+	case storage.Date:
+		return mal.Date(c.I)
+	default:
+		return mal.Int64(c.I)
+	}
+}
+
+func (c *compiler) prologue(queryText string) {
+	c.plan.Emit0("querylog", "define", mal.ConstOf(mal.Str(queryText)))
+	c.plan.Emit1("sql", "mvc", mal.TInt)
+}
+
+func (c *compiler) epilogue(r rel) {
+	rs := c.plan.Emit1("sql", "resultSet", mal.TInt, mal.ConstOf(mal.Int64(int64(len(r.cols)))))
+	for i, v := range r.cols {
+		c.plan.Emit0("sql", "rsColumn",
+			mal.VarArg(rs),
+			mal.ConstOf(mal.Str(r.schema[i].Name)),
+			mal.VarArg(v))
+	}
+	c.plan.Emit0("sql", "exportResult", mal.VarArg(rs))
+}
+
+func (c *compiler) lower(n algebra.Node) (rel, error) {
+	switch t := n.(type) {
+	case *algebra.Scan:
+		return c.lowerScan(t), nil
+	case *algebra.Filter:
+		return c.lowerFilter(t)
+	case *algebra.Join:
+		return c.lowerJoin(t)
+	case *algebra.GroupAgg:
+		return c.lowerGroupAgg(t)
+	case *algebra.Project:
+		return c.lowerProject(t)
+	case *algebra.Distinct:
+		return c.lowerDistinct(t)
+	case *algebra.Sort:
+		return c.lowerSort(t)
+	case *algebra.Limit:
+		return c.lowerLimit(t)
+	}
+	return rel{}, fmt.Errorf("compiler: unsupported node %T", n)
+}
+
+func (c *compiler) bindScan(s *algebra.Scan) rel {
+	r := rel{schema: s.Out}
+	for _, col := range s.Out {
+		v := c.plan.Emit1("sql", "bind", kindToBAT(col.Kind),
+			mal.ConstOf(mal.Str(s.SchemaName)),
+			mal.ConstOf(mal.Str(s.Table)),
+			mal.ConstOf(mal.Str(col.Name)),
+			mal.ConstOf(mal.Int64(0)))
+		r.cols = append(r.cols, v)
+	}
+	return r
+}
+
+func (c *compiler) lowerScan(s *algebra.Scan) rel { return c.bindScan(s) }
+
+// lowerFilter applies mitosis when the filter sits directly on a scan and
+// partitioning is enabled; otherwise it filters the materialized input.
+func (c *compiler) lowerFilter(f *algebra.Filter) (rel, error) {
+	if scan, ok := f.Input.(*algebra.Scan); ok && c.opt.Partitions > 1 {
+		return c.lowerPartitionedFilter(scan, f.Pred)
+	}
+	in, err := c.lower(f.Input)
+	if err != nil {
+		return rel{}, err
+	}
+	return c.applyFilter(in, f.Pred)
+}
+
+// applyFilter narrows rel to the rows satisfying pred and re-materializes
+// every column through the resulting candidate list.
+func (c *compiler) applyFilter(in rel, pred algebra.Expr) (rel, error) {
+	cands, err := c.candidates(in, pred)
+	if err != nil {
+		return rel{}, err
+	}
+	return c.projectAll(in, cands), nil
+}
+
+// projectAll gathers all columns of in through the candidate list.
+func (c *compiler) projectAll(in rel, cands int) rel {
+	out := rel{schema: in.schema}
+	for i, v := range in.cols {
+		p := c.plan.Emit1("algebra", "leftjoin", kindToBAT(in.schema[i].Kind),
+			mal.VarArg(cands), mal.VarArg(v))
+		out.cols = append(out.cols, p)
+	}
+	return out
+}
+
+// candidates compiles pred into an oid candidate list over in. Simple
+// conjunctions of single-column comparisons chain algebra.thetaselect /
+// algebra.select with shrinking candidate lists (MonetDB's fast path);
+// anything else falls back to elementwise boolean evaluation plus
+// algebra.selectTrue.
+func (c *compiler) candidates(in rel, pred algebra.Expr) (int, error) {
+	conj := splitAnd(pred)
+	if allSimple(conj) {
+		cands := -1
+		for _, p := range conj {
+			next, err := c.simpleSelect(in, p, cands)
+			if err != nil {
+				return 0, err
+			}
+			cands = next
+		}
+		return cands, nil
+	}
+	boolVar, err := c.boolExpr(in, pred)
+	if err != nil {
+		return 0, err
+	}
+	return c.plan.Emit1("algebra", "selectTrue", mal.TBATOID, mal.VarArg(boolVar)), nil
+}
+
+// splitAnd flattens a conjunction.
+func splitAnd(e algebra.Expr) []algebra.Expr {
+	if b, ok := e.(*algebra.Bin); ok && b.Op == "and" {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []algebra.Expr{e}
+}
+
+// simple predicates: ColIdx cmp Const, Const cmp ColIdx, or
+// Between(ColIdx, Const, Const).
+func isSimple(e algebra.Expr) bool {
+	switch t := e.(type) {
+	case *algebra.Bin:
+		switch t.Op {
+		case "=", "!=", "<", "<=", ">", ">=":
+		default:
+			return false
+		}
+		if _, ok := t.L.(*algebra.ColIdx); ok {
+			_, cok := t.R.(*algebra.Const)
+			return cok
+		}
+		if _, ok := t.R.(*algebra.ColIdx); ok {
+			_, cok := t.L.(*algebra.Const)
+			return cok
+		}
+		return false
+	case *algebra.Between:
+		if _, ok := t.E.(*algebra.ColIdx); !ok {
+			return false
+		}
+		_, lok := t.Lo.(*algebra.Const)
+		_, hok := t.Hi.(*algebra.Const)
+		return lok && hok
+	}
+	return false
+}
+
+func allSimple(conj []algebra.Expr) bool {
+	for _, p := range conj {
+		if !isSimple(p) {
+			return false
+		}
+	}
+	return true
+}
+
+var flipOp = map[string]string{"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+// simpleSelect emits a theta/range selection for one simple predicate,
+// refining cands (-1 means "all rows").
+func (c *compiler) simpleSelect(in rel, p algebra.Expr, cands int) (int, error) {
+	switch t := p.(type) {
+	case *algebra.Bin:
+		col, ok := t.L.(*algebra.ColIdx)
+		cst, _ := t.R.(*algebra.Const)
+		op := t.Op
+		if !ok {
+			col = t.R.(*algebra.ColIdx)
+			cst = t.L.(*algebra.Const)
+			op = flipOp[op]
+		}
+		args := []mal.Arg{mal.VarArg(in.cols[col.Idx])}
+		if cands >= 0 {
+			args = append(args, mal.VarArg(cands))
+		}
+		args = append(args, mal.ConstOf(mal.Str(op)), mal.ConstOf(constValue(cst)))
+		return c.plan.Emit1("algebra", "thetaselect", mal.TBATOID, args...), nil
+	case *algebra.Between:
+		col := t.E.(*algebra.ColIdx)
+		lo := t.Lo.(*algebra.Const)
+		hi := t.Hi.(*algebra.Const)
+		args := []mal.Arg{mal.VarArg(in.cols[col.Idx])}
+		if cands >= 0 {
+			args = append(args, mal.VarArg(cands))
+		}
+		args = append(args,
+			mal.ConstOf(constValue(lo)), mal.ConstOf(constValue(hi)),
+			mal.ConstOf(mal.Bool(true)), mal.ConstOf(mal.Bool(true)))
+		return c.plan.Emit1("algebra", "select", mal.TBATOID, args...), nil
+	}
+	return 0, fmt.Errorf("compiler: not a simple predicate: %s", p)
+}
+
+// boolExpr evaluates pred elementwise into a bat[:bit] column.
+func (c *compiler) boolExpr(in rel, pred algebra.Expr) (int, error) {
+	op, err := c.expr(in, pred)
+	if err != nil {
+		return 0, err
+	}
+	if op.isConst() {
+		return 0, fmt.Errorf("compiler: constant predicate %s not supported as filter", pred)
+	}
+	if op.kind != storage.Bool {
+		return 0, fmt.Errorf("compiler: predicate of kind %s", op.kind)
+	}
+	return op.varID, nil
+}
+
+var cmpFunc = map[string]string{"=": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+var arithFunc = map[string]string{"+": "add", "-": "sub", "*": "mul", "/": "div"}
+
+// expr compiles a scalar expression over the aligned columns of in into
+// batcalc instructions, constant-folding pure-constant subtrees.
+func (c *compiler) expr(in rel, e algebra.Expr) (operand, error) {
+	switch t := e.(type) {
+	case *algebra.ColIdx:
+		return operand{varID: in.cols[t.Idx], kind: t.Col.Kind}, nil
+	case *algebra.Const:
+		return operand{varID: -1, cnst: constValue(t), kind: t.K}, nil
+	case *algebra.Not:
+		inner, err := c.expr(in, t.E)
+		if err != nil {
+			return operand{}, err
+		}
+		if inner.isConst() {
+			return operand{varID: -1, cnst: mal.Bool(!inner.cnst.Bool), kind: storage.Bool}, nil
+		}
+		v := c.plan.Emit1("batcalc", "not", mal.TBATBool, mal.VarArg(inner.varID))
+		return operand{varID: v, kind: storage.Bool}, nil
+	case *algebra.Between:
+		col, err := c.expr(in, t.E)
+		if err != nil {
+			return operand{}, err
+		}
+		lo, err := c.expr(in, t.Lo)
+		if err != nil {
+			return operand{}, err
+		}
+		hi, err := c.expr(in, t.Hi)
+		if err != nil {
+			return operand{}, err
+		}
+		v := c.plan.Emit1("batcalc", "between", mal.TBATBool, col.arg(), lo.arg(), hi.arg())
+		return operand{varID: v, kind: storage.Bool}, nil
+	case *algebra.Like:
+		inner, err := c.expr(in, t.E)
+		if err != nil {
+			return operand{}, err
+		}
+		if inner.isConst() {
+			return operand{}, fmt.Errorf("compiler: like over a constant")
+		}
+		v := c.plan.Emit1("batcalc", "like", mal.TBATBool,
+			mal.VarArg(inner.varID), mal.ConstOf(mal.Str(t.Pattern)))
+		return operand{varID: v, kind: storage.Bool}, nil
+	case *algebra.Bin:
+		l, err := c.expr(in, t.L)
+		if err != nil {
+			return operand{}, err
+		}
+		r, err := c.expr(in, t.R)
+		if err != nil {
+			return operand{}, err
+		}
+		if l.isConst() && r.isConst() {
+			folded, err := foldConst(t.Op, l, r, t.K)
+			if err != nil {
+				return operand{}, err
+			}
+			return folded, nil
+		}
+		var fn string
+		switch t.Op {
+		case "+", "-", "*", "/":
+			fn = arithFunc[t.Op]
+		case "=", "!=", "<", "<=", ">", ">=":
+			fn = cmpFunc[t.Op]
+		case "and", "or":
+			fn = t.Op
+		default:
+			return operand{}, fmt.Errorf("compiler: unknown operator %q", t.Op)
+		}
+		v := c.plan.Emit1("batcalc", fn, kindToBAT(t.K), l.arg(), r.arg())
+		return operand{varID: v, kind: t.K}, nil
+	}
+	return operand{}, fmt.Errorf("compiler: cannot compile expression %T", e)
+}
+
+// foldConst evaluates constant-constant operations at compile time.
+func foldConst(op string, l, r operand, k storage.Kind) (operand, error) {
+	lf := func(o operand) float64 {
+		if o.cnst.Type == mal.TFlt {
+			return o.cnst.Flt
+		}
+		return float64(o.cnst.Int)
+	}
+	switch op {
+	case "+", "-", "*", "/":
+		a, b := lf(l), lf(r)
+		var v float64
+		switch op {
+		case "+":
+			v = a + b
+		case "-":
+			v = a - b
+		case "*":
+			v = a * b
+		default:
+			if b != 0 {
+				v = a / b
+			}
+		}
+		if k == storage.Flt {
+			return operand{varID: -1, cnst: mal.Float64(v), kind: k}, nil
+		}
+		return operand{varID: -1, cnst: mal.Int64(int64(v)), kind: k}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		var cmp int
+		if l.kind == storage.Str {
+			switch {
+			case l.cnst.Str < r.cnst.Str:
+				cmp = -1
+			case l.cnst.Str > r.cnst.Str:
+				cmp = 1
+			}
+		} else {
+			a, b := lf(l), lf(r)
+			switch {
+			case a < b:
+				cmp = -1
+			case a > b:
+				cmp = 1
+			}
+		}
+		var v bool
+		switch op {
+		case "=":
+			v = cmp == 0
+		case "!=":
+			v = cmp != 0
+		case "<":
+			v = cmp < 0
+		case "<=":
+			v = cmp <= 0
+		case ">":
+			v = cmp > 0
+		default:
+			v = cmp >= 0
+		}
+		return operand{varID: -1, cnst: mal.Bool(v), kind: storage.Bool}, nil
+	case "and":
+		return operand{varID: -1, cnst: mal.Bool(l.cnst.Bool && r.cnst.Bool), kind: storage.Bool}, nil
+	case "or":
+		return operand{varID: -1, cnst: mal.Bool(l.cnst.Bool || r.cnst.Bool), kind: storage.Bool}, nil
+	}
+	return operand{}, fmt.Errorf("compiler: cannot fold %q", op)
+}
+
+// lowerPartitionedFilter is the mitosis path: slice every scanned column
+// into Partitions horizontal pieces (mat.slice), run the selection and
+// projection chain per slice, and reassemble with mat.pack (mergetable).
+func (c *compiler) lowerPartitionedFilter(scan *algebra.Scan, pred algebra.Expr) (rel, error) {
+	base := c.bindScan(scan)
+	k := c.opt.Partitions
+
+	// Per-partition output vars, per column.
+	parts := make([][]int, len(base.cols))
+	for p := 0; p < k; p++ {
+		sliced := rel{schema: base.schema}
+		for _, v := range base.cols {
+			sv := c.plan.Emit1("mat", "slice", c.plan.VarType(v),
+				mal.VarArg(v), mal.ConstOf(mal.Int64(int64(p))), mal.ConstOf(mal.Int64(int64(k))))
+			sliced.cols = append(sliced.cols, sv)
+		}
+		cands, err := c.candidates(sliced, pred)
+		if err != nil {
+			return rel{}, err
+		}
+		for i, v := range sliced.cols {
+			pv := c.plan.Emit1("algebra", "leftjoin", kindToBAT(base.schema[i].Kind),
+				mal.VarArg(cands), mal.VarArg(v))
+			parts[i] = append(parts[i], pv)
+		}
+	}
+	out := rel{schema: base.schema}
+	for i := range base.cols {
+		args := make([]mal.Arg, len(parts[i]))
+		for j, pv := range parts[i] {
+			args[j] = mal.VarArg(pv)
+		}
+		packed := c.plan.Emit1("mat", "pack", kindToBAT(base.schema[i].Kind), args...)
+		out.cols = append(out.cols, packed)
+	}
+	return out, nil
+}
+
+func (c *compiler) lowerJoin(j *algebra.Join) (rel, error) {
+	l, err := c.lower(j.L)
+	if err != nil {
+		return rel{}, err
+	}
+	r, err := c.lower(j.R)
+	if err != nil {
+		return rel{}, err
+	}
+	lo := c.plan.NewVar(mal.TBATOID)
+	ro := c.plan.NewVar(mal.TBATOID)
+	c.plan.Emit("algebra", "join", []int{lo, ro},
+		mal.VarArg(l.cols[j.LKey]), mal.VarArg(r.cols[j.RKey]))
+	out := rel{schema: j.Schema()}
+	for i, v := range l.cols {
+		p := c.plan.Emit1("algebra", "leftjoin", kindToBAT(l.schema[i].Kind),
+			mal.VarArg(lo), mal.VarArg(v))
+		out.cols = append(out.cols, p)
+	}
+	for i, v := range r.cols {
+		p := c.plan.Emit1("algebra", "leftjoin", kindToBAT(r.schema[i].Kind),
+			mal.VarArg(ro), mal.VarArg(v))
+		out.cols = append(out.cols, p)
+	}
+	return out, nil
+}
+
+var aggrFunc = map[storage.AggrKind]string{
+	storage.AggrSum:   "sum",
+	storage.AggrCount: "count",
+	storage.AggrMin:   "min",
+	storage.AggrMax:   "max",
+	storage.AggrAvg:   "avg",
+}
+
+func (c *compiler) lowerGroupAgg(g *algebra.GroupAgg) (rel, error) {
+	in, err := c.lower(g.Input)
+	if err != nil {
+		return rel{}, err
+	}
+	out := rel{schema: g.Schema()}
+
+	if len(g.Keys) == 0 {
+		// Global aggregates: one-row results.
+		for _, a := range g.Aggs {
+			v, err := c.globalAggr(in, a)
+			if err != nil {
+				return rel{}, err
+			}
+			out.cols = append(out.cols, v)
+		}
+		return out, nil
+	}
+
+	// Chain group.subgroup over the key expressions.
+	groups, extents := -1, -1
+	for _, kx := range g.Keys {
+		kv, err := c.exprVar(in, kx)
+		if err != nil {
+			return rel{}, err
+		}
+		ng := c.plan.NewVar(mal.TBATOID)
+		ne := c.plan.NewVar(mal.TBATOID)
+		args := []mal.Arg{mal.VarArg(kv)}
+		if groups >= 0 {
+			args = append(args, mal.VarArg(groups))
+		}
+		c.plan.Emit("group", "subgroup", []int{ng, ne}, args...)
+		groups, extents = ng, ne
+	}
+	// Key output columns: representative rows via extents.
+	for i, kx := range g.Keys {
+		kv, err := c.exprVar(in, kx)
+		if err != nil {
+			return rel{}, err
+		}
+		v := c.plan.Emit1("algebra", "leftjoin", kindToBAT(g.Keys[i].Kind()),
+			mal.VarArg(extents), mal.VarArg(kv))
+		out.cols = append(out.cols, v)
+	}
+	for _, a := range g.Aggs {
+		var v int
+		if a.CountStar {
+			v = c.plan.Emit1("aggr", "subcount", mal.TBATInt,
+				mal.VarArg(groups), mal.VarArg(extents))
+		} else {
+			av, err := c.exprVar(in, a.Arg)
+			if err != nil {
+				return rel{}, err
+			}
+			v = c.plan.Emit1("aggr", "sub"+aggrFunc[a.Func], kindToBAT(a.K),
+				mal.VarArg(av), mal.VarArg(groups), mal.VarArg(extents))
+		}
+		out.cols = append(out.cols, v)
+	}
+	return out, nil
+}
+
+func (c *compiler) globalAggr(in rel, a algebra.AggSpec) (int, error) {
+	if a.CountStar {
+		return c.plan.Emit1("aggr", "count", mal.TBATInt, mal.VarArg(in.cols[0])), nil
+	}
+	av, err := c.exprVar(in, a.Arg)
+	if err != nil {
+		return 0, err
+	}
+	return c.plan.Emit1("aggr", aggrFunc[a.Func], kindToBAT(a.K), mal.VarArg(av)), nil
+}
+
+// exprVar compiles an expression and forces a BAT variable result
+// (constants are not legal as full columns here).
+func (c *compiler) exprVar(in rel, e algebra.Expr) (int, error) {
+	op, err := c.expr(in, e)
+	if err != nil {
+		return 0, err
+	}
+	if op.isConst() {
+		// Materialize a constant column aligned with the relation.
+		v := c.plan.Emit1("batcalc", "const", kindToBAT(op.kind),
+			mal.ConstOf(op.cnst), mal.VarArg(in.cols[0]))
+		return v, nil
+	}
+	return op.varID, nil
+}
+
+func (c *compiler) lowerProject(p *algebra.Project) (rel, error) {
+	in, err := c.lower(p.Input)
+	if err != nil {
+		return rel{}, err
+	}
+	out := rel{schema: p.Schema()}
+	for _, e := range p.Exprs {
+		v, err := c.exprVar(in, e)
+		if err != nil {
+			return rel{}, err
+		}
+		out.cols = append(out.cols, v)
+	}
+	return out, nil
+}
+
+func (c *compiler) lowerDistinct(d *algebra.Distinct) (rel, error) {
+	in, err := c.lower(d.Input)
+	if err != nil {
+		return rel{}, err
+	}
+	groups, extents := -1, -1
+	for _, v := range in.cols {
+		ng := c.plan.NewVar(mal.TBATOID)
+		ne := c.plan.NewVar(mal.TBATOID)
+		args := []mal.Arg{mal.VarArg(v)}
+		if groups >= 0 {
+			args = append(args, mal.VarArg(groups))
+		}
+		c.plan.Emit("group", "subgroup", []int{ng, ne}, args...)
+		groups, extents = ng, ne
+	}
+	return c.projectAll(in, extents), nil
+}
+
+func (c *compiler) lowerSort(s *algebra.Sort) (rel, error) {
+	in, err := c.lower(s.Input)
+	if err != nil {
+		return rel{}, err
+	}
+	// Stable multi-key sort: apply keys from least to most significant;
+	// each pass permutes every column through the sort order.
+	cur := in
+	for i := len(s.Keys) - 1; i >= 0; i-- {
+		k := s.Keys[i]
+		perm := c.plan.Emit1("algebra", "sortTail", mal.TBATOID,
+			mal.VarArg(cur.cols[k.Idx]), mal.ConstOf(mal.Bool(!k.Desc)))
+		cur = c.projectAll(cur, perm)
+	}
+	return cur, nil
+}
+
+func (c *compiler) lowerLimit(l *algebra.Limit) (rel, error) {
+	in, err := c.lower(l.Input)
+	if err != nil {
+		return rel{}, err
+	}
+	out := rel{schema: in.schema}
+	for i, v := range in.cols {
+		s := c.plan.Emit1("algebra", "slice", kindToBAT(in.schema[i].Kind),
+			mal.VarArg(v), mal.ConstOf(mal.Int64(0)), mal.ConstOf(mal.Int64(l.N)))
+		out.cols = append(out.cols, s)
+	}
+	return out, nil
+}

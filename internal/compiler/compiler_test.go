@@ -1,0 +1,275 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/tpch"
+)
+
+var testCat = func() *storage.Catalog {
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: 0.0005, Seed: 3}); err != nil {
+		panic(err)
+	}
+	return cat
+}()
+
+func compileQuery(t testing.TB, q string, opt Options) *mal.Plan {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tree, err := algebra.Bind(stmt, testCat)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	plan, err := Compile(tree, q, opt)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("plan invalid: %v\n%s", err, plan)
+	}
+	return plan
+}
+
+func countInstrs(p *mal.Plan, name string) int {
+	n := 0
+	for _, in := range p.Instrs {
+		if in.Name() == name {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPaperQueryPlanShape(t *testing.T) {
+	// Figure 1's query must lower to bind -> thetaselect -> leftjoin.
+	plan := compileQuery(t, "select l_tax from lineitem where l_partkey=1", Options{})
+	if n := countInstrs(plan, "sql.bind"); n != 2 {
+		t.Errorf("sql.bind count = %d, want 2 (l_partkey, l_tax)", n)
+	}
+	if n := countInstrs(plan, "algebra.thetaselect"); n != 1 {
+		t.Errorf("thetaselect count = %d, want 1", n)
+	}
+	if n := countInstrs(plan, "algebra.leftjoin"); n != 2 {
+		t.Errorf("leftjoin count = %d, want 2", n)
+	}
+	if n := countInstrs(plan, "sql.exportResult"); n != 1 {
+		t.Errorf("exportResult count = %d", n)
+	}
+	text := plan.String()
+	if !strings.Contains(text, "select l_tax from lineitem") {
+		t.Error("plan listing should carry the query text")
+	}
+}
+
+func TestMitosisPartitioning(t *testing.T) {
+	q := "select l_tax from lineitem where l_partkey=1"
+	base := compileQuery(t, q, Options{Partitions: 1})
+	part := compileQuery(t, q, Options{Partitions: 8})
+	if len(part.Instrs) <= len(base.Instrs) {
+		t.Fatalf("partitioned plan not larger: %d vs %d", len(part.Instrs), len(base.Instrs))
+	}
+	// 2 columns x 8 partitions slices.
+	if n := countInstrs(part, "mat.slice"); n != 16 {
+		t.Errorf("mat.slice count = %d, want 16", n)
+	}
+	// One thetaselect per partition.
+	if n := countInstrs(part, "algebra.thetaselect"); n != 8 {
+		t.Errorf("thetaselect count = %d, want 8", n)
+	}
+	// One pack per column.
+	if n := countInstrs(part, "mat.pack"); n != 2 {
+		t.Errorf("mat.pack count = %d, want 2", n)
+	}
+}
+
+func TestGroupAggLowering(t *testing.T) {
+	plan := compileQuery(t,
+		"select l_returnflag, sum(l_quantity), count(*) from lineitem group by l_returnflag", Options{})
+	if n := countInstrs(plan, "group.subgroup"); n != 1 {
+		t.Errorf("subgroup count = %d", n)
+	}
+	if n := countInstrs(plan, "aggr.subsum"); n != 1 {
+		t.Errorf("subsum count = %d", n)
+	}
+	if n := countInstrs(plan, "aggr.subcount"); n != 1 {
+		t.Errorf("subcount count = %d", n)
+	}
+}
+
+func TestGlobalAggLowering(t *testing.T) {
+	plan := compileQuery(t, "select count(*), sum(l_quantity) from lineitem", Options{})
+	if n := countInstrs(plan, "aggr.count"); n != 1 {
+		t.Errorf("aggr.count = %d", n)
+	}
+	if n := countInstrs(plan, "aggr.sum"); n != 1 {
+		t.Errorf("aggr.sum = %d", n)
+	}
+	if n := countInstrs(plan, "group.subgroup"); n != 0 {
+		t.Errorf("unexpected grouping: %d", n)
+	}
+}
+
+func TestJoinLowering(t *testing.T) {
+	plan := compileQuery(t,
+		"select o_totalprice, l_tax from orders join lineitem on l_orderkey = o_orderkey", Options{})
+	if n := countInstrs(plan, "algebra.join"); n != 1 {
+		t.Fatalf("join count = %d", n)
+	}
+	// The join has two result variables.
+	for _, in := range plan.Instrs {
+		if in.Name() == "algebra.join" {
+			if len(in.Rets) != 2 {
+				t.Errorf("join rets = %d", len(in.Rets))
+			}
+		}
+	}
+}
+
+func TestSortAndLimitLowering(t *testing.T) {
+	plan := compileQuery(t, "select l_tax from lineitem order by l_tax desc limit 5", Options{})
+	if n := countInstrs(plan, "algebra.sortTail"); n != 1 {
+		t.Errorf("sortTail = %d", n)
+	}
+	if n := countInstrs(plan, "algebra.slice"); n != 1 {
+		t.Errorf("slice = %d", n)
+	}
+	// Multi-key sort emits one sortTail per key.
+	plan = compileQuery(t, "select l_tax, l_quantity from lineitem order by l_tax, l_quantity desc", Options{})
+	if n := countInstrs(plan, "algebra.sortTail"); n != 2 {
+		t.Errorf("multi-key sortTail = %d", n)
+	}
+}
+
+func TestDistinctLowering(t *testing.T) {
+	plan := compileQuery(t, "select distinct l_returnflag from lineitem", Options{})
+	if n := countInstrs(plan, "group.subgroup"); n != 1 {
+		t.Errorf("distinct subgroup = %d", n)
+	}
+}
+
+func TestComplexExpressionLowering(t *testing.T) {
+	plan := compileQuery(t,
+		"select l_extendedprice * (1 - l_discount) as revenue from lineitem", Options{})
+	// 1 - l_discount needs a flipped scalar sub, then a mul.
+	if n := countInstrs(plan, "batcalc.sub"); n != 1 {
+		t.Errorf("batcalc.sub = %d", n)
+	}
+	if n := countInstrs(plan, "batcalc.mul"); n != 1 {
+		t.Errorf("batcalc.mul = %d", n)
+	}
+}
+
+func TestDisjunctionFallsBackToBoolPath(t *testing.T) {
+	plan := compileQuery(t,
+		"select l_tax from lineitem where l_partkey = 1 or l_quantity > 49", Options{})
+	if n := countInstrs(plan, "batcalc.or"); n != 1 {
+		t.Errorf("batcalc.or = %d", n)
+	}
+	if n := countInstrs(plan, "algebra.selectTrue"); n != 1 {
+		t.Errorf("selectTrue = %d", n)
+	}
+	if n := countInstrs(plan, "algebra.thetaselect"); n != 0 {
+		t.Errorf("unexpected thetaselect = %d", n)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	plan := compileQuery(t, "select l_quantity * (2 + 3) from lineitem", Options{})
+	// 2+3 folds; only the mul against the column remains.
+	if n := countInstrs(plan, "batcalc.add"); n != 0 {
+		t.Errorf("unfolded add = %d", n)
+	}
+	if n := countInstrs(plan, "batcalc.mul"); n != 1 {
+		t.Errorf("mul = %d", n)
+	}
+	found := false
+	for _, in := range plan.Instrs {
+		if in.Name() == "batcalc.mul" {
+			for _, a := range in.Args {
+				if a.IsConst() && a.Const.Int == 5 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("folded constant 5 not found in mul args")
+	}
+}
+
+func TestBetweenLowering(t *testing.T) {
+	plan := compileQuery(t,
+		"select l_tax from lineitem where l_shipdate between date '1993-01-01' and date '1994-01-01'", Options{})
+	if n := countInstrs(plan, "algebra.select"); n != 1 {
+		t.Errorf("range select = %d", n)
+	}
+}
+
+func TestPrologueAndEpilogue(t *testing.T) {
+	plan := compileQuery(t, "select l_tax from lineitem", Options{})
+	if plan.Instrs[0].Name() != "querylog.define" {
+		t.Errorf("first instr = %s", plan.Instrs[0].Name())
+	}
+	last := plan.Instrs[len(plan.Instrs)-1]
+	if last.Name() != "sql.exportResult" {
+		t.Errorf("last instr = %s", last.Name())
+	}
+	if n := countInstrs(plan, "sql.rsColumn"); n != 1 {
+		t.Errorf("rsColumn = %d", n)
+	}
+}
+
+func TestLargePlanViaPartitions(t *testing.T) {
+	// F2 backing: a multi-column filter at high partition count must
+	// exceed 1000 instructions.
+	q := `select l_orderkey, l_partkey, l_suppkey, l_quantity, l_extendedprice, l_discount, l_tax, l_shipdate
+		from lineitem where l_quantity > 10 and l_discount < 0.05`
+	plan := compileQuery(t, q, Options{Partitions: 64})
+	if len(plan.Instrs) < 1000 {
+		t.Errorf("partitioned plan has %d instructions, want > 1000", len(plan.Instrs))
+	}
+}
+
+func TestDepsFormDAG(t *testing.T) {
+	plan := compileQuery(t,
+		"select l_returnflag, sum(l_quantity) from lineitem where l_partkey < 100 group by l_returnflag order by l_returnflag", Options{Partitions: 4})
+	deps := plan.Deps()
+	for pc, ds := range deps {
+		for _, d := range ds {
+			if d >= pc {
+				t.Fatalf("instruction %d depends on later instruction %d", pc, d)
+			}
+		}
+	}
+}
+
+func TestLikeLowering(t *testing.T) {
+	plan := compileQuery(t, "select p_partkey from part where p_type like 'PROMO%'", Options{})
+	if n := countInstrs(plan, "batcalc.like"); n != 1 {
+		t.Errorf("batcalc.like = %d", n)
+	}
+	if n := countInstrs(plan, "algebra.selectTrue"); n != 1 {
+		t.Errorf("selectTrue = %d", n)
+	}
+}
+
+func TestInLowering(t *testing.T) {
+	// IN desugars to an equality disjunction in the binder, which the
+	// compiler lowers through the boolean path.
+	plan := compileQuery(t, "select l_orderkey from lineitem where l_shipmode in ('MAIL', 'SHIP', 'AIR')", Options{})
+	if n := countInstrs(plan, "batcalc.eq"); n != 3 {
+		t.Errorf("batcalc.eq = %d, want 3", n)
+	}
+	if n := countInstrs(plan, "batcalc.or"); n != 2 {
+		t.Errorf("batcalc.or = %d, want 2", n)
+	}
+}

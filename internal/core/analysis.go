@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/trace"
+)
+
+// Utilization summarizes how a query execution exploited the cores — the
+// online demo's "multi-core utilization analysis exhibits degree of
+// multi-threaded parallelization of MAL instructions".
+type Utilization struct {
+	// BusyUs is the summed instruction time per thread.
+	BusyUs map[int]int64
+	// SpanUs is the wall-clock span of the trace (first start to last
+	// done).
+	SpanUs int64
+	// Parallelism is total busy time divided by span: ~1 for sequential
+	// execution, approaching the worker count for well-parallelized
+	// plans.
+	Parallelism float64
+	// Threads is the number of distinct executing threads.
+	Threads int
+}
+
+// Utilize computes per-thread utilization from a trace.
+func Utilize(s *trace.Store) Utilization {
+	u := Utilization{BusyUs: map[int]int64{}}
+	var minClk, maxClk int64
+	minClk = 1<<63 - 1
+	for _, e := range s.Events() {
+		if e.ClkUs < minClk {
+			minClk = e.ClkUs
+		}
+		if e.ClkUs > maxClk {
+			maxClk = e.ClkUs
+		}
+		if e.State == profiler.StateDone {
+			u.BusyUs[e.Thread] += e.DurUs
+		}
+	}
+	if s.Len() > 0 {
+		u.SpanUs = maxClk - minClk
+	}
+	u.Threads = len(u.BusyUs)
+	var total int64
+	for _, b := range u.BusyUs {
+		total += b
+	}
+	if u.SpanUs > 0 {
+		u.Parallelism = float64(total) / float64(u.SpanUs)
+	} else if total > 0 {
+		u.Parallelism = 1
+	}
+	return u
+}
+
+// SequentialAnomaly reports whether a trace that should have run
+// multi-threaded executed (almost) sequentially — the case the paper
+// reports uncovering: "sequential execution of a MAL plan where
+// multithreaded execution was expected." expectedThreads is the worker
+// count the plan was scheduled for.
+func SequentialAnomaly(u Utilization, expectedThreads int) bool {
+	if expectedThreads <= 1 {
+		return false
+	}
+	return u.Threads <= 1
+}
+
+// String renders a compact utilization report.
+func (u Utilization) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "span=%dus threads=%d parallelism=%.2f\n", u.SpanUs, u.Threads, u.Parallelism)
+	threads := make([]int, 0, len(u.BusyUs))
+	for t := range u.BusyUs {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		fmt.Fprintf(&b, "  thread %d: busy %dus\n", t, u.BusyUs[t])
+	}
+	return b.String()
+}
+
+// Cluster is one birds-eye bucket: a contiguous slice of the trace
+// summarized by its dominant MAL module — "birds eye view of the entire
+// trace, to understand the sequence of instruction execution clustering."
+type Cluster struct {
+	FromSeq, ToSeq int64
+	Events         int
+	BusyUs         int64
+	// Module is the dominant module in the bucket (by done-event time).
+	Module string
+}
+
+// BirdsEye splits the trace into n sequential buckets and summarizes
+// each.
+func BirdsEye(s *trace.Store, n int) []Cluster {
+	if n <= 0 || s.Len() == 0 {
+		return nil
+	}
+	evs := s.Events()
+	if n > len(evs) {
+		n = len(evs)
+	}
+	out := make([]Cluster, 0, n)
+	for b := 0; b < n; b++ {
+		lo := b * len(evs) / n
+		hi := (b + 1) * len(evs) / n
+		if lo == hi {
+			continue
+		}
+		c := Cluster{FromSeq: evs[lo].Seq, ToSeq: evs[hi-1].Seq, Events: hi - lo}
+		moduleBusy := map[string]int64{}
+		for _, e := range evs[lo:hi] {
+			if e.State != profiler.StateDone {
+				continue
+			}
+			c.BusyUs += e.DurUs
+			moduleBusy[moduleOf(e.Stmt)] += e.DurUs
+		}
+		var bestMod string
+		var bestBusy int64 = -1
+		mods := make([]string, 0, len(moduleBusy))
+		for m := range moduleBusy {
+			mods = append(mods, m)
+		}
+		sort.Strings(mods)
+		for _, m := range mods {
+			if moduleBusy[m] > bestBusy {
+				bestBusy = moduleBusy[m]
+				bestMod = m
+			}
+		}
+		c.Module = bestMod
+		out = append(out, c)
+	}
+	return out
+}
+
+// moduleOf extracts the MAL module from a statement string like
+// "X_3:bat[:oid] := algebra.select(...);".
+func moduleOf(stmt string) string {
+	s := stmt
+	if i := strings.Index(s, ":="); i >= 0 {
+		s = strings.TrimSpace(s[i+2:])
+	}
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return strings.TrimSpace(s[:i])
+	}
+	return ""
+}
+
+// CostlyInstr is one entry of the costly-instruction report.
+type CostlyInstr struct {
+	PC    int
+	DurUs int64
+	Stmt  string
+}
+
+// TopCostly returns the k slowest instructions — the core question the
+// tool answers ("where time goes").
+func TopCostly(s *trace.Store, k int) []CostlyInstr {
+	byPC := map[int]*CostlyInstr{}
+	for _, e := range s.Events() {
+		if e.State != profiler.StateDone {
+			continue
+		}
+		ci, ok := byPC[e.PC]
+		if !ok {
+			ci = &CostlyInstr{PC: e.PC, Stmt: e.Stmt}
+			byPC[e.PC] = ci
+		}
+		ci.DurUs += e.DurUs
+	}
+	out := make([]CostlyInstr, 0, len(byPC))
+	for _, ci := range byPC {
+		out = append(out, *ci)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurUs != out[j].DurUs {
+			return out[i].DurUs > out[j].DurUs
+		}
+		return out[i].PC < out[j].PC
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Tooltip renders the hover text for one instruction: statement,
+// execution time and resource accounting — the "tool tip text display"
+// of the demo.
+func Tooltip(s *trace.Store, pc int) string {
+	evs := s.ByPC(pc)
+	if len(evs) == 0 {
+		return fmt.Sprintf("pc=%d: no trace events", pc)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pc=%d %s", pc, evs[0].Stmt)
+	for _, e := range evs {
+		if e.State == profiler.StateDone {
+			fmt.Fprintf(&b, "\n  done in %dus (thread %d, rss %dKB, reads %d, writes %d)",
+				e.DurUs, e.Thread, e.RSSKB, e.Reads, e.Writes)
+		}
+	}
+	if evs[len(evs)-1].State == profiler.StateStart {
+		fmt.Fprintf(&b, "\n  still running (started at clk=%dus, thread %d)",
+			evs[len(evs)-1].ClkUs, evs[len(evs)-1].Thread)
+	}
+	return b.String()
+}
+
+// DebugInfo is the structured content of the demo's "debug options
+// window" for one instruction.
+type DebugInfo struct {
+	PC     int
+	Stmt   string
+	Events []profiler.Event
+	DurUs  int64
+	Done   bool
+}
+
+// Debug collects per-instruction detail.
+func Debug(s *trace.Store, pc int) DebugInfo {
+	evs := s.ByPC(pc)
+	d := DebugInfo{PC: pc, Events: evs}
+	for _, e := range evs {
+		if d.Stmt == "" {
+			d.Stmt = e.Stmt
+		}
+		if e.State == profiler.StateDone {
+			d.Done = true
+			d.DurUs += e.DurUs
+		}
+	}
+	return d
+}

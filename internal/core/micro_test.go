@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/trace"
+)
+
+func microTrace() *trace.Store {
+	mk := func(seq int64, state profiler.State, pc, th int, clk, dur, rss, reads, writes int64, mod string) profiler.Event {
+		return profiler.Event{Seq: seq, State: state, PC: pc, Thread: th, ClkUs: clk,
+			DurUs: dur, RSSKB: rss, Reads: reads, Writes: writes,
+			Stmt: "X_1 := " + mod + ".op(X_0);"}
+	}
+	return trace.FromEvents([]profiler.Event{
+		mk(0, profiler.StateStart, 0, 0, 0, 0, 0, 0, 0, "sql"),
+		mk(1, profiler.StateDone, 0, 0, 100, 100, 64, 1000, 1000, "sql"),
+		mk(2, profiler.StateStart, 1, 1, 100, 0, 0, 0, 0, "algebra"),
+		mk(3, profiler.StateDone, 1, 1, 1000, 900, 8, 1000, 10, "algebra"),
+		mk(4, profiler.StateStart, 2, 0, 1000, 0, 0, 0, 0, "algebra"),
+		mk(5, profiler.StateDone, 2, 0, 1100, 100, 4, 10, 10, "algebra"),
+	})
+}
+
+func TestModuleBreakdown(t *testing.T) {
+	stats := ModuleBreakdown(microTrace())
+	if len(stats) != 2 {
+		t.Fatalf("modules = %d", len(stats))
+	}
+	// algebra (1000us) dominates sql (100us).
+	if stats[0].Module != "algebra" || stats[0].BusyUs != 1000 || stats[0].Calls != 2 {
+		t.Errorf("stats[0] = %+v", stats[0])
+	}
+	if stats[1].Module != "sql" || stats[1].BusyUs != 100 {
+		t.Errorf("stats[1] = %+v", stats[1])
+	}
+	wantShare := 1000.0 / 1100.0
+	if d := stats[0].Share - wantShare; d > 1e-9 || d < -1e-9 {
+		t.Errorf("share = %g, want %g", stats[0].Share, wantShare)
+	}
+	if stats[0].Reads != 1010 || stats[0].Writes != 20 {
+		t.Errorf("algebra io = %d/%d", stats[0].Reads, stats[0].Writes)
+	}
+}
+
+func TestMemoryTimelineCumulative(t *testing.T) {
+	pts := MemoryTimeline(microTrace(), 4)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Monotone non-decreasing cumulative rss, ending at 64+8+4.
+	var prev int64 = -1
+	for _, p := range pts {
+		if p.RSSKB < prev {
+			t.Fatalf("timeline not monotone: %v", pts)
+		}
+		prev = p.RSSKB
+	}
+	if pts[len(pts)-1].RSSKB != 76 {
+		t.Errorf("final rss = %d, want 76", pts[len(pts)-1].RSSKB)
+	}
+	if MemoryTimeline(trace.FromEvents(nil), 4) != nil {
+		t.Error("empty trace timeline not nil")
+	}
+	if MemoryTimeline(microTrace(), 0) != nil {
+		t.Error("zero buckets timeline not nil")
+	}
+}
+
+func TestThreadTimeline(t *testing.T) {
+	tl := ThreadTimeline(microTrace())
+	if len(tl) != 2 {
+		t.Fatalf("threads = %d", len(tl))
+	}
+	t0 := tl[0]
+	if len(t0) != 2 {
+		t.Fatalf("thread 0 segments = %d", len(t0))
+	}
+	// Ordered by start time.
+	if t0[0].FromUs != 0 || t0[0].ToUs != 100 || t0[0].PC != 0 {
+		t.Errorf("segment = %+v", t0[0])
+	}
+	if t0[1].FromUs != 1000 || t0[1].PC != 2 {
+		t.Errorf("segment = %+v", t0[1])
+	}
+	t1 := tl[1]
+	if len(t1) != 1 || t1[0].FromUs != 100 || t1[0].ToUs != 1000 {
+		t.Errorf("thread 1 = %+v", t1)
+	}
+}
+
+func TestThreadTimelineDoneWithoutStart(t *testing.T) {
+	st := trace.FromEvents([]profiler.Event{
+		{Seq: 0, State: profiler.StateDone, PC: 5, Thread: 2, ClkUs: 500, DurUs: 200, Stmt: "a.b();"},
+	})
+	tl := ThreadTimeline(st)
+	segs := tl[2]
+	if len(segs) != 1 || segs[0].FromUs != 300 || segs[0].ToUs != 500 {
+		t.Errorf("synthesized segment = %+v", segs)
+	}
+}
+
+func TestDataFlowProfile(t *testing.T) {
+	flows := DataFlowProfile(microTrace())
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	// Sorted by reads descending; pc 0 and 1 both read 1000, ties by pc.
+	if flows[0].PC != 0 || flows[1].PC != 1 || flows[2].PC != 2 {
+		t.Errorf("order = %v", flows)
+	}
+	// Selectivity of the selection at pc=1: 10/1000.
+	if d := flows[1].Selectivity - 0.01; d > 1e-9 || d < -1e-9 {
+		t.Errorf("selectivity = %g", flows[1].Selectivity)
+	}
+}
+
+func TestMicroReport(t *testing.T) {
+	rep := MicroReport(microTrace())
+	for _, want := range []string{"module breakdown", "algebra", "top data flows", "thread timelines", "thread 0"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

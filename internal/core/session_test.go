@@ -1,0 +1,263 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stethoscope/internal/dot"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/trace"
+)
+
+// buildFixture produces a small plan's dot text and a matching trace.
+func buildFixture(t testing.TB) (string, string) {
+	t.Helper()
+	p := mal.NewPlan("select l_tax from lineitem where l_partkey=1")
+	col := p.Emit1("sql", "bind", mal.TBATInt,
+		mal.ConstOf(mal.Str("sys")), mal.ConstOf(mal.Str("lineitem")), mal.ConstOf(mal.Str("l_partkey")), mal.ConstOf(mal.Int64(0)))
+	sel := p.Emit1("algebra", "thetaselect", mal.TBATOID,
+		mal.VarArg(col), mal.ConstOf(mal.Str("=")), mal.ConstOf(mal.Int64(1)))
+	tax := p.Emit1("sql", "bind", mal.TBATFlt,
+		mal.ConstOf(mal.Str("sys")), mal.ConstOf(mal.Str("lineitem")), mal.ConstOf(mal.Str("l_tax")), mal.ConstOf(mal.Int64(0)))
+	p.Emit1("algebra", "leftjoin", mal.TBATFlt, mal.VarArg(sel), mal.VarArg(tax))
+
+	g := dot.Export(p)
+	var tb strings.Builder
+	clk := int64(0)
+	seq := int64(0)
+	for _, in := range p.Instrs {
+		stmt := p.StmtString(in)
+		dur := int64(100 * (in.PC + 1))
+		start := profiler.Event{Seq: seq, State: profiler.StateStart, PC: in.PC, Thread: in.PC % 2, ClkUs: clk, Stmt: stmt}
+		seq++
+		clk += dur
+		done := profiler.Event{Seq: seq, State: profiler.StateDone, PC: in.PC, Thread: in.PC % 2, ClkUs: clk, DurUs: dur, RSSKB: 8, Reads: 100, Writes: 50, Stmt: stmt}
+		seq++
+		tb.WriteString(start.Marshal() + "\n" + done.Marshal() + "\n")
+	}
+	return g.Marshal(), tb.String()
+}
+
+func openFixture(t testing.TB) *Session {
+	t.Helper()
+	dotText, traceText := buildFixture(t)
+	s, err := OpenOffline(dotText, traceText, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenOfflinePipeline(t *testing.T) {
+	s := openFixture(t)
+	if len(s.Graph.Nodes) != 4 {
+		t.Errorf("graph nodes = %d", len(s.Graph.Nodes))
+	}
+	// Glyph accounting: 2 glyphs per node + edges.
+	if got := len(s.Space.Glyphs()); got != 2*4+len(s.Graph.Edges) {
+		t.Errorf("glyphs = %d", got)
+	}
+	if !s.Mapping.Complete() {
+		t.Errorf("mapping incomplete: %+v", s.Mapping)
+	}
+	if s.Trace.Len() != 8 {
+		t.Errorf("trace len = %d", s.Trace.Len())
+	}
+}
+
+func TestOpenOfflineErrors(t *testing.T) {
+	if _, err := OpenOffline("not dot", "", SessionOptions{}); err == nil {
+		t.Error("bad dot accepted")
+	}
+	dotText, _ := buildFixture(t)
+	if _, err := OpenOffline(dotText, "bad trace line", SessionOptions{}); err == nil {
+		t.Error("bad trace accepted")
+	}
+}
+
+func TestE9ReplayControls(t *testing.T) {
+	s := openFixture(t)
+	r := s.Replay
+	now := time.Unix(0, 0)
+
+	// Step-by-step walk-through.
+	e, ok := r.Step(now)
+	if !ok || e.Seq != 0 {
+		t.Fatalf("step 1 = %+v", e)
+	}
+	s.Queue.Flush(now.Add(time.Second))
+	if c := s.Space.NodeColor("n0"); c != string(ColorRed) {
+		t.Errorf("n0 after start = %q", c)
+	}
+	r.Step(now)
+	s.Queue.Flush(now.Add(2 * time.Second))
+	if c := s.Space.NodeColor("n0"); c != string(ColorGreen) {
+		t.Errorf("n0 after done = %q", c)
+	}
+
+	// Fast-forward to the end: everything green.
+	r.FastForward(100)
+	if r.Position() != r.Len() {
+		t.Fatalf("position = %d", r.Position())
+	}
+	for pc := 0; pc < 4; pc++ {
+		if c := s.Space.NodeColor(dot.NodeID(pc)); c != string(ColorGreen) {
+			t.Errorf("n%d after ffwd = %q", pc, c)
+		}
+	}
+
+	// Rewind into the middle: n1 should be RED (its start applied, done
+	// not yet).
+	r.Rewind(5) // position 3: events 0,1,2 applied => n0 green, n1 red
+	if r.Position() != 3 {
+		t.Fatalf("position after rewind = %d", r.Position())
+	}
+	if c := s.Space.NodeColor("n1"); c != string(ColorRed) {
+		t.Errorf("n1 after rewind = %q", c)
+	}
+	if c := s.Space.NodeColor("n3"); c != "" {
+		t.Errorf("n3 after rewind = %q, want uncolored", c)
+	}
+
+	// Pause gates Tick.
+	r.Pause()
+	if n := r.Tick(now, 10); n != 0 {
+		t.Errorf("paused tick applied %d", n)
+	}
+	r.Play()
+	if n := r.Tick(now, 2); n != 2 {
+		t.Errorf("tick applied %d", n)
+	}
+
+	// Seek.
+	if err := r.SeekTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SeekTo(999); err == nil {
+		t.Error("out-of-range seek accepted")
+	}
+}
+
+func TestColorBetween(t *testing.T) {
+	s := openFixture(t)
+	// The full trace is all adjacent pairs: pair-elision colors nothing.
+	c, err := s.Replay.ColorBetween(0, s.Trace.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 0 {
+		t.Errorf("fast trace colored %v", c)
+	}
+	// A window splitting a pair: [1, 4) = done0, start1, done1 —
+	// done0 is a lone done (green); start1/done1 pair elided.
+	c, err = s.Replay.ColorBetween(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != ColorGreen {
+		t.Errorf("window coloring = %v", c)
+	}
+	if _, err := s.Replay.ColorBetween(5, 2); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestRenderSVGCarriesColors(t *testing.T) {
+	s := openFixture(t)
+	s.Replay.FastForward(3) // n0 green, n1 red
+	out, err := s.RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, string(ColorGreen)) || !strings.Contains(out, string(ColorRed)) {
+		t.Error("rendered svg missing state colors")
+	}
+}
+
+func TestNavigateTo(t *testing.T) {
+	s := openFixture(t)
+	if err := s.NavigateTo(2, 800, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Animator.Active() {
+		t.Fatal("no animation queued")
+	}
+	for s.Animator.Tick(16) {
+	}
+	g := s.Space.NodeGlyphs("n2")[0]
+	if s.Camera.CX != g.CenterX() || s.Camera.CY != g.CenterY() {
+		t.Errorf("camera at (%g,%g), want glyph center (%g,%g)",
+			s.Camera.CX, s.Camera.CY, g.CenterX(), g.CenterY())
+	}
+	if err := s.NavigateTo(99, 800, 100); err == nil {
+		t.Error("navigation to unknown pc accepted")
+	}
+}
+
+func TestPickTooltip(t *testing.T) {
+	s := openFixture(t)
+	g := s.Space.NodeGlyphs("n1")[0]
+	tip, ok := s.PickTooltip(g.CenterX(), g.CenterY())
+	if !ok {
+		t.Fatal("no tooltip")
+	}
+	if !strings.Contains(tip, "pc=1") || !strings.Contains(tip, "thetaselect") {
+		t.Errorf("tooltip = %q", tip)
+	}
+	if _, ok := s.PickTooltip(-9999, -9999); ok {
+		t.Error("tooltip in empty space")
+	}
+}
+
+func TestTooltipAndDebug(t *testing.T) {
+	s := openFixture(t)
+	tip := Tooltip(s.Trace, 2)
+	if !strings.Contains(tip, "done in 300us") {
+		t.Errorf("tooltip = %q", tip)
+	}
+	if !strings.Contains(Tooltip(s.Trace, 42), "no trace events") {
+		t.Error("missing-pc tooltip wrong")
+	}
+	d := Debug(s.Trace, 2)
+	if !d.Done || d.DurUs != 300 || len(d.Events) != 2 {
+		t.Errorf("debug = %+v", d)
+	}
+	// Running instruction tooltip.
+	st := trace.FromEvents([]profiler.Event{
+		{Seq: 0, State: profiler.StateStart, PC: 0, ClkUs: 5, Stmt: "x"},
+	})
+	if !strings.Contains(Tooltip(st, 0), "still running") {
+		t.Error("running tooltip wrong")
+	}
+}
+
+func TestSessionViewNavigation(t *testing.T) {
+	s := openFixture(t)
+	nav := s.View(800, 600)
+	// The overview shows every node.
+	if got := len(nav.Visible()); got != len(s.Graph.Nodes) {
+		t.Errorf("overview shows %d of %d nodes", got, len(s.Graph.Nodes))
+	}
+	// Zoom to a node and render the view.
+	if !nav.ZoomToNode("n1", 0.5) {
+		t.Fatal("zoom failed")
+	}
+	out, err := s.RenderViewSVG(nil, 800, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `id="n1"`) {
+		t.Error("focused node missing from view render")
+	}
+	// Replay colors show up in the view too.
+	s.Replay.FastForward(2)
+	out, err = s.RenderViewSVG(nil, 800, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, string(ColorGreen)) {
+		t.Error("view render missing replay colors")
+	}
+}

@@ -1,0 +1,339 @@
+// Package engine implements the MAL interpreter of the reproduction — the
+// Mserver execution core. It executes plans produced by internal/compiler
+// over BATs from internal/storage, in two modes: sequential
+// interpretation, and multi-core dataflow execution (a dependency-counting
+// scheduler over a worker pool, MonetDB's language.dataflow). Every
+// instruction execution is bracketed by profiler start/done events so
+// Stethoscope can animate the run (paper §3.3).
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"stethoscope/internal/mal"
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/storage"
+)
+
+// Result is the table a plan's sql.exportResult produces.
+type Result struct {
+	Names []string
+	Cols  []*storage.BAT
+}
+
+// Rows returns the result row count.
+func (r *Result) Rows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return r.Cols[0].Len()
+}
+
+// Kernel implements one MAL module.function over the execution context.
+type Kernel func(ctx *Context, in *mal.Instr) error
+
+// Engine holds the catalog and the kernel registry. One Engine serves
+// many concurrent queries; per-query state lives in Context.
+type Engine struct {
+	cat      *storage.Catalog
+	registry map[string]Kernel
+}
+
+// New returns an engine over the catalog with the full kernel set
+// registered.
+func New(cat *storage.Catalog) *Engine {
+	e := &Engine{cat: cat, registry: map[string]Kernel{}}
+	registerKernels(e)
+	return e
+}
+
+// Catalog exposes the engine's catalog (the server's metadata commands
+// use it).
+func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// Register installs a kernel for "module.function". Later registrations
+// override earlier ones, which tests use for fault injection.
+func (e *Engine) Register(module, function string, k Kernel) {
+	e.registry[module+"."+function] = k
+}
+
+// Options controls one plan execution.
+type Options struct {
+	// Workers is the dataflow parallelism; <= 1 selects sequential
+	// interpretation (every instruction on thread 0).
+	Workers int
+	// Profiler, when set, receives start/done events per instruction.
+	Profiler *profiler.Profiler
+}
+
+// Context is the per-execution state: the variable slots and the result
+// under construction.
+type Context struct {
+	Plan    *mal.Plan
+	eng     *Engine
+	vals    []mal.Value
+	mu      sync.Mutex // guards results
+	results []*Result
+	final   *Result
+}
+
+// value returns the runtime value of an argument.
+func (ctx *Context) value(a mal.Arg) mal.Value {
+	if a.IsConst() {
+		return a.Const
+	}
+	return ctx.vals[a.Var]
+}
+
+// bat extracts the BAT payload of argument i.
+func (ctx *Context) bat(in *mal.Instr, i int) (*storage.BAT, error) {
+	if i >= len(in.Args) {
+		return nil, fmt.Errorf("engine: %s: missing argument %d", in.Name(), i)
+	}
+	v := ctx.value(in.Args[i])
+	b, ok := v.Col.(*storage.BAT)
+	if !ok {
+		return nil, fmt.Errorf("engine: %s: argument %d is not a BAT (type %s)", in.Name(), i, v.Type)
+	}
+	return b, nil
+}
+
+// scalar extracts argument i as a storage comparison operand.
+func (ctx *Context) scalar(in *mal.Instr, i int) (storage.Val, error) {
+	if i >= len(in.Args) {
+		return storage.Val{}, fmt.Errorf("engine: %s: missing argument %d", in.Name(), i)
+	}
+	v := ctx.value(in.Args[i])
+	switch v.Type {
+	case mal.TInt:
+		return storage.IntVal(v.Int), nil
+	case mal.TFlt:
+		return storage.FltVal(v.Flt), nil
+	case mal.TStr:
+		return storage.StrVal(v.Str), nil
+	case mal.TBool:
+		return storage.BoolVal(v.Bool), nil
+	case mal.TDate:
+		return storage.DateVal(v.Int), nil
+	case mal.TOID:
+		return storage.OIDVal(v.Int), nil
+	}
+	return storage.Val{}, fmt.Errorf("engine: %s: argument %d is not a scalar", in.Name(), i)
+}
+
+// str extracts argument i as a string constant.
+func (ctx *Context) str(in *mal.Instr, i int) (string, error) {
+	if i >= len(in.Args) {
+		return "", fmt.Errorf("engine: %s: missing argument %d", in.Name(), i)
+	}
+	v := ctx.value(in.Args[i])
+	if v.Type != mal.TStr {
+		return "", fmt.Errorf("engine: %s: argument %d is not a string", in.Name(), i)
+	}
+	return v.Str, nil
+}
+
+// intArg extracts argument i as an int64.
+func (ctx *Context) intArg(in *mal.Instr, i int) (int64, error) {
+	if i >= len(in.Args) {
+		return 0, fmt.Errorf("engine: %s: missing argument %d", in.Name(), i)
+	}
+	v := ctx.value(in.Args[i])
+	if v.Type != mal.TInt && v.Type != mal.TOID && v.Type != mal.TDate {
+		return 0, fmt.Errorf("engine: %s: argument %d is not an integer", in.Name(), i)
+	}
+	return v.Int, nil
+}
+
+// boolArg extracts argument i as a bool.
+func (ctx *Context) boolArg(in *mal.Instr, i int) (bool, error) {
+	if i >= len(in.Args) {
+		return false, fmt.Errorf("engine: %s: missing argument %d", in.Name(), i)
+	}
+	v := ctx.value(in.Args[i])
+	if v.Type != mal.TBool {
+		return false, fmt.Errorf("engine: %s: argument %d is not a bool", in.Name(), i)
+	}
+	return v.Bool, nil
+}
+
+// setBAT stores a BAT result into return slot i.
+func (ctx *Context) setBAT(in *mal.Instr, i int, b *storage.BAT) {
+	t := ctx.Plan.VarType(in.Rets[i])
+	ctx.vals[in.Rets[i]] = mal.Value{Type: t, Col: b}
+}
+
+// setVal stores a scalar result into return slot i.
+func (ctx *Context) setVal(in *mal.Instr, i int, v mal.Value) {
+	ctx.vals[in.Rets[i]] = v
+}
+
+// Run executes the plan and returns its exported result (nil for plans
+// without sql.exportResult).
+func (e *Engine) Run(plan *mal.Plan, opt Options) (*Result, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	ctx := &Context{Plan: plan, eng: e, vals: make([]mal.Value, len(plan.Vars))}
+	if opt.Profiler != nil {
+		opt.Profiler.Reset()
+	}
+	var err error
+	if opt.Workers <= 1 {
+		err = e.runSequential(ctx, opt)
+	} else {
+		err = e.runDataflow(ctx, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ctx.final, nil
+}
+
+// exec runs one instruction on the given logical thread, with profiling.
+func (e *Engine) exec(ctx *Context, in *mal.Instr, thread int, prof *profiler.Profiler) error {
+	k, ok := e.registry[in.Name()]
+	if !ok {
+		return fmt.Errorf("engine: unknown MAL operator %s at pc=%d", in.Name(), in.PC)
+	}
+	var span *profiler.Span
+	if prof != nil {
+		span = prof.Begin(in.PC, thread, in.Module, ctx.Plan.StmtString(in))
+	}
+	err := k(ctx, in)
+	if span != nil {
+		reads, writes, rss := ctx.accounting(in)
+		span.End(rss, reads, writes)
+	}
+	if err != nil {
+		return fmt.Errorf("engine: pc=%d %s: %w", in.PC, in.Name(), err)
+	}
+	return nil
+}
+
+// accounting estimates the profiler's reads/writes/rss fields from the
+// instruction's BAT arguments and results.
+func (ctx *Context) accounting(in *mal.Instr) (reads, writes, rssKB int64) {
+	for _, a := range in.Args {
+		if a.IsConst() {
+			continue
+		}
+		if b, ok := ctx.vals[a.Var].Col.(*storage.BAT); ok {
+			reads += int64(b.Len())
+		}
+	}
+	for _, r := range in.Rets {
+		if b, ok := ctx.vals[r].Col.(*storage.BAT); ok {
+			writes += int64(b.Len())
+			rssKB += b.FootprintBytes() / 1024
+		}
+	}
+	return reads, writes, rssKB
+}
+
+func (e *Engine) runSequential(ctx *Context, opt Options) error {
+	for _, in := range ctx.Plan.Instrs {
+		if err := e.exec(ctx, in, 0, opt.Profiler); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDataflow executes the plan's dataflow DAG on opt.Workers goroutines
+// using dependency counting: an instruction becomes ready when all its
+// producers have finished. Side-effecting instructions additionally chain
+// on the previous side-effecting instruction to preserve their order.
+func (e *Engine) runDataflow(ctx *Context, opt Options) error {
+	plan := ctx.Plan
+	n := len(plan.Instrs)
+	if n == 0 {
+		return nil
+	}
+	deps := plan.Deps()
+	uses := plan.Uses()
+
+	// Order-dependent instructions (result-set plumbing, logging) form a
+	// chain so rsColumn calls append in plan order.
+	pending := make([]int, n)
+	lastEffect := -1
+	for i, in := range plan.Instrs {
+		pending[i] = len(deps[i])
+		if isOrdered(in) {
+			if lastEffect >= 0 {
+				pending[i]++
+				uses[lastEffect] = append(uses[lastEffect], i)
+			}
+			lastEffect = i
+		}
+	}
+
+	ready := make(chan int, n)
+	for i := range plan.Instrs {
+		if pending[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		completed int
+		wg        sync.WaitGroup
+		done      = make(chan struct{})
+	)
+	complete := func(pc int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+			close(done)
+			return
+		}
+		if firstErr != nil {
+			return
+		}
+		completed++
+		for _, u := range uses[pc] {
+			pending[u]--
+			if pending[u] == 0 {
+				ready <- u
+			}
+		}
+		if completed == len(plan.Instrs) {
+			close(done)
+		}
+	}
+
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				select {
+				case pc := <-ready:
+					err := e.exec(ctx, plan.Instrs[pc], worker, opt.Profiler)
+					complete(pc, err)
+				case <-done:
+					return
+				}
+			}
+		}(w)
+	}
+	<-done
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// isOrdered reports whether the instruction has side effects whose order
+// matters (result-set construction).
+func isOrdered(in *mal.Instr) bool {
+	switch in.Name() {
+	case "sql.resultSet", "sql.rsColumn", "sql.exportResult", "querylog.define":
+		return true
+	}
+	return false
+}

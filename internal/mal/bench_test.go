@@ -1,0 +1,66 @@
+package mal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// widePlan builds an n-instruction mitosis-shaped plan for benchmarks.
+func widePlan(n int) *Plan {
+	p := NewPlan("bench")
+	bind := p.Emit1("sql", "bind", TBATInt,
+		ConstOf(Str("sys")), ConstOf(Str("t")), ConstOf(Str("c")), ConstOf(Int64(0)))
+	var outs []int
+	for len(p.Instrs) < n-1 {
+		s := p.Emit1("mat", "slice", TBATInt, VarArg(bind),
+			ConstOf(Int64(int64(len(outs)))), ConstOf(Int64(64)))
+		sel := p.Emit1("algebra", "thetaselect", TBATOID, VarArg(s),
+			ConstOf(Str("<")), ConstOf(Int64(100)))
+		outs = append(outs, p.Emit1("algebra", "leftjoin", TBATInt, VarArg(sel), VarArg(s)))
+	}
+	args := make([]Arg, len(outs))
+	for i, o := range outs {
+		args[i] = VarArg(o)
+	}
+	p.Emit1("mat", "pack", TBATInt, args...)
+	return p
+}
+
+func BenchmarkPlanPrint(b *testing.B) {
+	p := widePlan(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.String()
+	}
+}
+
+func BenchmarkPlanParse(b *testing.B) {
+	text := widePlan(500).String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeps(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		p := widePlan(n)
+		b.Run(fmt.Sprintf("instrs=%d", len(p.Instrs)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Deps()
+			}
+		})
+	}
+}
+
+func BenchmarkPrune(b *testing.B) {
+	p := widePlan(500)
+	p.Emit0("querylog", "define", ConstOf(Str("q")))
+	p.Renumber()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prune(p)
+	}
+}

@@ -1,0 +1,171 @@
+package mal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a textual MAL listing in the format produced by Plan.String
+// and reconstructs the plan. Variable types are taken from the result
+// annotations; variables that only appear as arguments default to TVoid
+// until their defining statement is seen (forward references are rejected
+// by Validate, which Parse runs before returning).
+func Parse(r io.Reader) (*Plan, error) {
+	p := NewPlan("")
+	names := map[string]int{} // variable display name -> index
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "function ") || strings.HasPrefix(line, "end "):
+			continue
+		case strings.HasPrefix(line, "#"):
+			if p.Query == "" {
+				p.Query = strings.TrimSpace(line[1:])
+			}
+			continue
+		}
+		if err := parseStmt(p, names, line); err != nil {
+			return nil, fmt.Errorf("mal: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mal: %w", err)
+	}
+	p.Renumber()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseString is Parse over an in-memory listing.
+func ParseString(s string) (*Plan, error) { return Parse(strings.NewReader(s)) }
+
+func parseStmt(p *Plan, names map[string]int, line string) error {
+	line = strings.TrimSuffix(line, ";")
+	var retsPart, callPart string
+	if i := strings.Index(line, ":="); i >= 0 {
+		retsPart = strings.TrimSpace(line[:i])
+		callPart = strings.TrimSpace(line[i+2:])
+	} else {
+		callPart = line
+	}
+
+	var rets []int
+	if retsPart != "" {
+		retsPart = strings.TrimPrefix(retsPart, "(")
+		retsPart = strings.TrimSuffix(retsPart, ")")
+		for _, f := range splitTop(retsPart) {
+			id, err := declVar(p, names, strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			rets = append(rets, id)
+		}
+	}
+
+	open := strings.Index(callPart, "(")
+	if open < 0 || !strings.HasSuffix(callPart, ")") {
+		return fmt.Errorf("malformed call %q", callPart)
+	}
+	qual := callPart[:open]
+	dot := strings.Index(qual, ".")
+	if dot < 0 {
+		return fmt.Errorf("call %q lacks module qualifier", qual)
+	}
+	module, function := qual[:dot], qual[dot+1:]
+
+	var args []Arg
+	inner := callPart[open+1 : len(callPart)-1]
+	if strings.TrimSpace(inner) != "" {
+		for _, f := range splitTop(inner) {
+			f = strings.TrimSpace(f)
+			if id, ok := names[stripType(f)]; ok && !looksLiteral(f) {
+				args = append(args, VarArg(id))
+				continue
+			}
+			v, err := ParseLiteral(f)
+			if err != nil {
+				return fmt.Errorf("argument %q: %w", f, err)
+			}
+			args = append(args, ConstOf(v))
+		}
+	}
+	p.Emit(module, function, rets, args...)
+	return nil
+}
+
+// declVar registers (or reuses) a variable from a "name:type" declaration.
+func declVar(p *Plan, names map[string]int, decl string) (int, error) {
+	name := decl
+	t := TVoid
+	if i := strings.Index(decl, ":"); i >= 0 {
+		name = decl[:i]
+		var err error
+		t, err = ParseType(strings.TrimSpace(decl[i+1:]))
+		if err != nil {
+			return 0, err
+		}
+	}
+	if id, ok := names[name]; ok {
+		if t != TVoid {
+			p.Vars[id].Type = t
+		}
+		return id, nil
+	}
+	id := p.NewNamedVar(name, t)
+	names[name] = id
+	return id, nil
+}
+
+func stripType(s string) string {
+	if i := strings.Index(s, ":"); i >= 0 && !strings.HasPrefix(s, `"`) {
+		return s[:i]
+	}
+	return s
+}
+
+func looksLiteral(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '"' || c == '-' || (c >= '0' && c <= '9') ||
+		s == "true" || s == "false" || s == "nil" || strings.HasPrefix(s, "date(")
+}
+
+// splitTop splits a comma-separated list at the top nesting level,
+// respecting quoted strings and parentheses (for date(n) literals).
+func splitTop(s string) []string {
+	var parts []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

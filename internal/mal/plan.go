@@ -1,0 +1,305 @@
+package mal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Variable is a single-assignment MAL variable slot within a plan.
+type Variable struct {
+	Name string // display name, "X_<id>" by default
+	Type Type
+}
+
+// Arg is an instruction operand: either a reference to a plan variable
+// (Var >= 0) or an inline constant (Var == ConstArg).
+type Arg struct {
+	Var   int // variable index, or ConstArg for a constant
+	Const Value
+}
+
+// ConstArg marks an Arg as carrying an inline constant rather than a
+// variable reference.
+const ConstArg = -1
+
+// VarArg returns an Arg referencing variable id.
+func VarArg(id int) Arg { return Arg{Var: id} }
+
+// ConstOf returns an Arg carrying the constant v.
+func ConstOf(v Value) Arg { return Arg{Var: ConstArg, Const: v} }
+
+// IsConst reports whether the operand is an inline constant.
+func (a Arg) IsConst() bool { return a.Var == ConstArg }
+
+// Instr is one MAL statement: module.function applied to Args, assigning
+// results to the variables in Rets. PC is the program counter, the
+// instruction's position in the plan; the paper's trace-to-dot mapping is
+// "pc=N maps to dot node nN".
+type Instr struct {
+	PC       int
+	Module   string
+	Function string
+	Rets     []int
+	Args     []Arg
+}
+
+// Name returns the qualified "module.function" name.
+func (in *Instr) Name() string { return in.Module + "." + in.Function }
+
+// Plan is a MAL program: an ordered instruction list over a shared
+// single-assignment variable table. Plans are built by the compiler,
+// rewritten by the optimizer, interpreted by the engine, and rendered by
+// Stethoscope as a dataflow DAG.
+type Plan struct {
+	// Query is the source SQL text, carried for display purposes.
+	Query  string
+	Vars   []Variable
+	Instrs []*Instr
+}
+
+// NewPlan returns an empty plan for the given source query text.
+func NewPlan(query string) *Plan { return &Plan{Query: query} }
+
+// NewVar appends a fresh variable of type t and returns its index. The
+// variable is named X_<index> in MAL notation.
+func (p *Plan) NewVar(t Type) int {
+	id := len(p.Vars)
+	p.Vars = append(p.Vars, Variable{Name: fmt.Sprintf("X_%d", id), Type: t})
+	return id
+}
+
+// NewNamedVar appends a fresh variable with an explicit display name.
+func (p *Plan) NewNamedVar(name string, t Type) int {
+	id := len(p.Vars)
+	p.Vars = append(p.Vars, Variable{Name: name, Type: t})
+	return id
+}
+
+// VarType returns the declared type of variable id.
+func (p *Plan) VarType(id int) Type {
+	if id < 0 || id >= len(p.Vars) {
+		return TVoid
+	}
+	return p.Vars[id].Type
+}
+
+// VarName returns the display name of variable id.
+func (p *Plan) VarName(id int) string {
+	if id < 0 || id >= len(p.Vars) {
+		return fmt.Sprintf("X_?%d", id)
+	}
+	return p.Vars[id].Name
+}
+
+// Emit appends an instruction and returns it. PC is assigned to the
+// instruction's position.
+func (p *Plan) Emit(module, function string, rets []int, args ...Arg) *Instr {
+	in := &Instr{
+		PC:       len(p.Instrs),
+		Module:   module,
+		Function: function,
+		Rets:     rets,
+		Args:     args,
+	}
+	p.Instrs = append(p.Instrs, in)
+	return in
+}
+
+// Emit1 appends an instruction with a single fresh result variable of type
+// t and returns the new variable's index.
+func (p *Plan) Emit1(module, function string, t Type, args ...Arg) int {
+	ret := p.NewVar(t)
+	p.Emit(module, function, []int{ret}, args...)
+	return ret
+}
+
+// Emit0 appends a result-less (void) instruction.
+func (p *Plan) Emit0(module, function string, args ...Arg) *Instr {
+	return p.Emit(module, function, nil, args...)
+}
+
+// Renumber reassigns PCs to match instruction positions. Optimizer passes
+// that delete or reorder instructions must call this before the plan is
+// executed or exported to dot, because Stethoscope's pc-to-node mapping
+// relies on PC == position.
+func (p *Plan) Renumber() {
+	for i, in := range p.Instrs {
+		in.PC = i
+	}
+}
+
+// DefSites returns, for every variable, the PC of the instruction that
+// defines it, or -1 if the variable is never assigned (e.g. only used as a
+// constant placeholder).
+func (p *Plan) DefSites() []int {
+	def := make([]int, len(p.Vars))
+	for i := range def {
+		def[i] = -1
+	}
+	for _, in := range p.Instrs {
+		for _, r := range in.Rets {
+			if r >= 0 && r < len(def) && def[r] == -1 {
+				def[r] = in.PC
+			}
+		}
+	}
+	return def
+}
+
+// Deps returns, per instruction, the PCs of the instructions whose results
+// it consumes — the dataflow edges of the DAG Stethoscope draws. The
+// result is indexed by PC and each dependency list is sorted ascending with
+// duplicates removed.
+func (p *Plan) Deps() [][]int {
+	def := p.DefSites()
+	deps := make([][]int, len(p.Instrs))
+	for i, in := range p.Instrs {
+		seen := map[int]bool{}
+		for _, a := range in.Args {
+			if a.IsConst() {
+				continue
+			}
+			d := -1
+			if a.Var >= 0 && a.Var < len(def) {
+				d = def[a.Var]
+			}
+			if d >= 0 && d != in.PC && !seen[d] {
+				seen[d] = true
+				deps[i] = append(deps[i], d)
+			}
+		}
+		sortInts(deps[i])
+	}
+	return deps
+}
+
+// Uses returns the transpose of Deps: per instruction, the PCs of
+// instructions that consume one of its results.
+func (p *Plan) Uses() [][]int {
+	deps := p.Deps()
+	uses := make([][]int, len(p.Instrs))
+	for pc, ds := range deps {
+		for _, d := range ds {
+			uses[d] = append(uses[d], pc)
+		}
+	}
+	return uses
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Validate checks plan well-formedness: every argument variable is defined
+// by an earlier instruction, every variable is assigned at most once
+// (single assignment), and variable indices are in range.
+func (p *Plan) Validate() error {
+	assigned := make([]bool, len(p.Vars))
+	for i, in := range p.Instrs {
+		if in.PC != i {
+			return fmt.Errorf("mal: instruction %d has pc=%d; call Renumber", i, in.PC)
+		}
+		for _, a := range in.Args {
+			if a.IsConst() {
+				continue
+			}
+			if a.Var < 0 || a.Var >= len(p.Vars) {
+				return fmt.Errorf("mal: pc=%d %s: argument variable %d out of range", i, in.Name(), a.Var)
+			}
+			if !assigned[a.Var] {
+				return fmt.Errorf("mal: pc=%d %s: variable %s used before assignment", i, in.Name(), p.VarName(a.Var))
+			}
+		}
+		for _, r := range in.Rets {
+			if r < 0 || r >= len(p.Vars) {
+				return fmt.Errorf("mal: pc=%d %s: result variable %d out of range", i, in.Name(), r)
+			}
+			if assigned[r] {
+				return fmt.Errorf("mal: pc=%d %s: variable %s assigned twice", i, in.Name(), p.VarName(r))
+			}
+			assigned[r] = true
+		}
+	}
+	return nil
+}
+
+// StmtString renders instruction in as a single MAL statement line, e.g.
+//
+//	X_3:bat[:oid] := algebra.select(X_1, 1);
+//
+// This string is what the profiler places in the trace "stmt" field and
+// what the dot exporter places in node labels (paper §3.3).
+func (p *Plan) StmtString(in *Instr) string {
+	var b strings.Builder
+	switch len(in.Rets) {
+	case 0:
+	case 1:
+		r := in.Rets[0]
+		fmt.Fprintf(&b, "%s:%s := ", p.VarName(r), p.VarType(r))
+	default:
+		b.WriteByte('(')
+		for i, r := range in.Rets {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s:%s", p.VarName(r), p.VarType(r))
+		}
+		b.WriteString(") := ")
+	}
+	b.WriteString(in.Module)
+	b.WriteByte('.')
+	b.WriteString(in.Function)
+	b.WriteByte('(')
+	for i, a := range in.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if a.IsConst() {
+			b.WriteString(a.Const.String())
+		} else {
+			b.WriteString(p.VarName(a.Var))
+		}
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+// String renders the whole plan as a MAL listing wrapped in a
+// function user.main() block, matching the paper's Figure 1 presentation.
+func (p *Plan) String() string {
+	var b strings.Builder
+	b.WriteString("function user.main();\n")
+	if p.Query != "" {
+		fmt.Fprintf(&b, "# %s\n", p.Query)
+	}
+	for _, in := range p.Instrs {
+		b.WriteString("    ")
+		b.WriteString(p.StmtString(in))
+		b.WriteByte('\n')
+	}
+	b.WriteString("end user.main;\n")
+	return b.String()
+}
+
+// Clone returns a deep copy of the plan. Optimizer passes operate on
+// clones so the unoptimized plan remains available for side-by-side
+// display.
+func (p *Plan) Clone() *Plan {
+	q := &Plan{Query: p.Query, Vars: append([]Variable(nil), p.Vars...)}
+	q.Instrs = make([]*Instr, len(p.Instrs))
+	for i, in := range p.Instrs {
+		cp := &Instr{
+			PC:       in.PC,
+			Module:   in.Module,
+			Function: in.Function,
+			Rets:     append([]int(nil), in.Rets...),
+			Args:     append([]Arg(nil), in.Args...),
+		}
+		q.Instrs[i] = cp
+	}
+	return q
+}

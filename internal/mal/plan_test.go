@@ -1,0 +1,333 @@
+package mal
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSimplePlan(t *testing.T) *Plan {
+	t.Helper()
+	p := NewPlan("select l_tax from lineitem where l_partkey=1")
+	col := p.Emit1("sql", "bind", TBATInt, ConstOf(Str("sys")), ConstOf(Str("lineitem")), ConstOf(Str("l_partkey")), ConstOf(Int64(0)))
+	sel := p.Emit1("algebra", "select", TBATOID, VarArg(col), ConstOf(Int64(1)), ConstOf(Int64(1)))
+	tax := p.Emit1("sql", "bind", TBATFlt, ConstOf(Str("sys")), ConstOf(Str("lineitem")), ConstOf(Str("l_tax")), ConstOf(Int64(0)))
+	prj := p.Emit1("algebra", "leftjoin", TBATFlt, VarArg(sel), VarArg(tax))
+	p.Emit0("sql", "resultSet", VarArg(prj))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p
+}
+
+func TestPlanBuildAndValidate(t *testing.T) {
+	p := buildSimplePlan(t)
+	if got := len(p.Instrs); got != 5 {
+		t.Fatalf("instr count = %d, want 5", got)
+	}
+	for i, in := range p.Instrs {
+		if in.PC != i {
+			t.Errorf("instr %d has pc %d", i, in.PC)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	p := buildSimplePlan(t)
+	got := p.StmtString(p.Instrs[1])
+	want := `X_1:bat[:oid] := algebra.select(X_0, 1, 1);`
+	if got != want {
+		t.Errorf("StmtString = %q, want %q", got, want)
+	}
+}
+
+func TestStmtStringMultiReturn(t *testing.T) {
+	p := NewPlan("")
+	a := p.NewVar(TBATOID)
+	b := p.NewVar(TBATOID)
+	src := p.Emit1("sql", "bind", TBATInt, ConstOf(Str("t")))
+	p.Emit("group", "subgroup", []int{a, b}, VarArg(src))
+	got := p.StmtString(p.Instrs[1])
+	if !strings.HasPrefix(got, "(X_0:bat[:oid], X_1:bat[:oid]) := group.subgroup(") {
+		t.Errorf("multi-return StmtString = %q", got)
+	}
+}
+
+func TestDeps(t *testing.T) {
+	p := buildSimplePlan(t)
+	deps := p.Deps()
+	cases := []struct {
+		pc   int
+		want []int
+	}{
+		{0, nil},
+		{1, []int{0}},
+		{2, nil},
+		{3, []int{1, 2}},
+		{4, []int{3}},
+	}
+	for _, c := range cases {
+		if !equalInts(deps[c.pc], c.want) {
+			t.Errorf("deps[%d] = %v, want %v", c.pc, deps[c.pc], c.want)
+		}
+	}
+}
+
+func TestUsesIsTransposeOfDeps(t *testing.T) {
+	p := buildSimplePlan(t)
+	deps, uses := p.Deps(), p.Uses()
+	for pc, ds := range deps {
+		for _, d := range ds {
+			if !containsInt(uses[d], pc) {
+				t.Errorf("uses[%d] missing %d", d, pc)
+			}
+		}
+	}
+	for pc, us := range uses {
+		for _, u := range us {
+			if !containsInt(deps[u], pc) {
+				t.Errorf("deps[%d] missing %d", u, pc)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsUseBeforeDef(t *testing.T) {
+	p := NewPlan("")
+	v := p.NewVar(TBATInt)
+	p.Emit1("algebra", "select", TBATOID, VarArg(v))
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted use-before-def")
+	}
+}
+
+func TestValidateRejectsDoubleAssign(t *testing.T) {
+	p := NewPlan("")
+	v := p.NewVar(TBATInt)
+	p.Emit("sql", "bind", []int{v}, ConstOf(Str("a")))
+	p.Emit("sql", "bind", []int{v}, ConstOf(Str("b")))
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted double assignment")
+	}
+}
+
+func TestValidateRejectsBadPC(t *testing.T) {
+	p := buildSimplePlan(t)
+	p.Instrs[2].PC = 99
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted wrong pc")
+	}
+	p.Renumber()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate after Renumber: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildSimplePlan(t)
+	q := p.Clone()
+	q.Instrs[0].Module = "changed"
+	q.Instrs[0].Args[0] = ConstOf(Str("zzz"))
+	q.Vars[0].Name = "Y_0"
+	if p.Instrs[0].Module == "changed" {
+		t.Error("Clone shares Instr structs")
+	}
+	if p.Instrs[0].Args[0].Const.Str == "zzz" {
+		t.Error("Clone shares Args slices")
+	}
+	if p.Vars[0].Name == "Y_0" {
+		t.Error("Clone shares Vars slice")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := buildSimplePlan(t)
+	text := p.String()
+	q, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("ParseString: %v\nlisting:\n%s", err, text)
+	}
+	if len(q.Instrs) != len(p.Instrs) {
+		t.Fatalf("round-trip instr count = %d, want %d", len(q.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if got, want := q.StmtString(q.Instrs[i]), p.StmtString(p.Instrs[i]); got != want {
+			t.Errorf("instr %d: %q != %q", i, got, want)
+		}
+	}
+	if q.Query != p.Query {
+		t.Errorf("query comment = %q, want %q", q.Query, p.Query)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"X_0 := nomodule(1);",
+		"X_0 := a.b(unclosed;",
+		"a.b(X_9);", // undefined variable -> literal parse failure
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTypeStringParseRoundTrip(t *testing.T) {
+	for _, typ := range []Type{TVoid, TInt, TFlt, TStr, TBool, TDate, TOID,
+		TBATInt, TBATFlt, TBATStr, TBATBool, TBATDate, TBATOID} {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", typ.String(), err)
+		}
+		if got != typ {
+			t.Errorf("round trip %v -> %v", typ, got)
+		}
+	}
+}
+
+func TestBATOfElem(t *testing.T) {
+	for _, el := range []Type{TInt, TFlt, TStr, TBool, TDate, TOID} {
+		b := BATOf(el)
+		if !b.IsBAT() {
+			t.Errorf("BATOf(%v) = %v not a BAT", el, b)
+		}
+		if b.Elem() != el {
+			t.Errorf("Elem(BATOf(%v)) = %v", el, b.Elem())
+		}
+	}
+	if BATOf(TVoid) != TVoid {
+		t.Error("BATOf(TVoid) should be TVoid")
+	}
+}
+
+func TestValueLiteralRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int64(0), Int64(-42), Int64(1 << 40),
+		Float64(3.5), Float64(-0.25), Float64(2),
+		Str("hello"), Str(`with "quotes" and, comma`), Str(""),
+		Bool(true), Bool(false),
+		Date(19000), OID(7),
+		{},
+	}
+	for _, v := range vals {
+		s := v.String()
+		got, err := ParseLiteral(s)
+		if err != nil {
+			t.Fatalf("ParseLiteral(%q): %v", s, err)
+		}
+		// OID parses back as TInt (same wire representation); normalize.
+		if v.Type == TOID {
+			v.Type = TInt
+		}
+		if got != v {
+			t.Errorf("literal round trip %q: got %+v want %+v", s, got, v)
+		}
+	}
+}
+
+func TestValueLiteralQuickProperty(t *testing.T) {
+	f := func(n int64, fl float64, s string, b bool) bool {
+		for _, v := range []Value{Int64(n), Str(s), Bool(b)} {
+			got, err := ParseLiteral(v.String())
+			if err != nil || got != v {
+				return false
+			}
+		}
+		// Floats: NaN/Inf are not valid MAL literals; skip them.
+		if fl == fl && fl < 1e308 && fl > -1e308 {
+			v := Float64(fl)
+			got, err := ParseLiteral(v.String())
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPruneRemovesAdminKeepsProducers(t *testing.T) {
+	p := NewPlan("q")
+	p.Emit0("querylog", "define", ConstOf(Str("q")))
+	col := p.Emit1("sql", "bind", TBATInt, ConstOf(Str("sys")), ConstOf(Str("t")), ConstOf(Str("c")), ConstOf(Int64(0)))
+	sel := p.Emit1("algebra", "select", TBATOID, VarArg(col), ConstOf(Int64(1)))
+	p.Emit0("sql", "resultSet", VarArg(sel))
+	p.Emit0("language", "pass", VarArg(col))
+
+	q, remap := Prune(p)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("pruned plan invalid: %v", err)
+	}
+	// querylog.define and language.pass gone; sql.resultSet consumes sel so
+	// it is admin but... resultSet is admin and a *consumer*, not producer,
+	// so it is pruned too. bind+select survive.
+	for _, in := range q.Instrs {
+		if in.Module == "querylog" || in.Name() == "language.pass" {
+			t.Errorf("admin instruction survived: %s", in.Name())
+		}
+	}
+	if len(q.Instrs) != 2 {
+		t.Fatalf("pruned plan has %d instrs, want 2:\n%s", len(q.Instrs), q)
+	}
+	if _, ok := remap[1]; !ok {
+		t.Error("remap missing pc=1 (bind)")
+	}
+	if _, ok := remap[0]; ok {
+		t.Error("remap contains pruned pc=0")
+	}
+}
+
+func TestPruneKeepsAdminProducerFeedingData(t *testing.T) {
+	p := NewPlan("")
+	// bat.new is classified admin, but its result feeds a data op.
+	nb := p.Emit1("bat", "new", TBATInt)
+	p.Emit1("algebra", "select", TBATOID, VarArg(nb), ConstOf(Int64(0)))
+	q, _ := Prune(p)
+	if len(q.Instrs) != 2 {
+		t.Fatalf("producer was pruned; got %d instrs", len(q.Instrs))
+	}
+}
+
+func TestIsAdmin(t *testing.T) {
+	cases := []struct {
+		mod, fn string
+		want    bool
+	}{
+		{"language", "pass", true},
+		{"querylog", "define", true},
+		{"algebra", "select", false},
+		{"sql", "bind", false},
+		{"sql", "resultSet", true},
+		{"group", "subgroup", false},
+		{"profiler", "anything", true},
+	}
+	for _, c := range cases {
+		in := &Instr{Module: c.mod, Function: c.fn}
+		if got := in.IsAdmin(); got != c.want {
+			t.Errorf("IsAdmin(%s.%s) = %v, want %v", c.mod, c.fn, got, c.want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(a []int, x int) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

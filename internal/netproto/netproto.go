@@ -1,0 +1,199 @@
+// Package netproto implements the wire protocol between the MonetDB
+// server's profiler and the textual Stethoscope (paper §3.2): profiler
+// events and dot-file content are streamed over UDP to the listening
+// client. One datagram carries one message; dot files are chunked
+// line-wise between begin/end markers so the client's monitoring thread
+// can "filter the dot file content, generate a new dot file" (§4.2)
+// while trace events interleave on the same stream.
+package netproto
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"stethoscope/internal/profiler"
+)
+
+// MsgKind tags a datagram.
+type MsgKind int
+
+// Message kinds.
+const (
+	MsgEvent    MsgKind = iota // one profiler event line
+	MsgDotBegin                // start of a dot file; payload = plan name
+	MsgDotLine                 // one dot file line
+	MsgDotEnd                  // end of a dot file
+	MsgHello                   // server announcement; payload = server name
+)
+
+var kindTags = map[MsgKind]string{
+	MsgEvent:    "EVT",
+	MsgDotBegin: "DOTB",
+	MsgDotLine:  "DOTL",
+	MsgDotEnd:   "DOTE",
+	MsgHello:    "HELO",
+}
+
+var tagKinds = func() map[string]MsgKind {
+	m := map[string]MsgKind{}
+	for k, v := range kindTags {
+		m[v] = k
+	}
+	return m
+}()
+
+// Msg is one decoded datagram.
+type Msg struct {
+	Kind    MsgKind
+	Payload string
+}
+
+// Encode renders the datagram bytes: "TAG payload".
+func Encode(m Msg) []byte {
+	tag, ok := kindTags[m.Kind]
+	if !ok {
+		tag = "EVT"
+	}
+	return []byte(tag + " " + m.Payload)
+}
+
+// Decode parses datagram bytes.
+func Decode(b []byte) (Msg, error) {
+	s := string(b)
+	sp := strings.IndexByte(s, ' ')
+	tag, payload := s, ""
+	if sp >= 0 {
+		tag, payload = s[:sp], s[sp+1:]
+	}
+	kind, ok := tagKinds[tag]
+	if !ok {
+		return Msg{}, fmt.Errorf("netproto: unknown message tag %q", tag)
+	}
+	return Msg{Kind: kind, Payload: payload}, nil
+}
+
+// UDPStreamer sends profiler events and dot files to one destination.
+// It implements profiler.Sink, so it plugs directly into a Profiler.
+// Datagram loss is accepted (UDP semantics, as in the paper); send
+// errors are recorded, not fatal.
+type UDPStreamer struct {
+	mu      sync.Mutex
+	conn    *net.UDPConn
+	dropped int
+}
+
+// Dial connects a streamer to addr ("host:port").
+func Dial(addr string) (*UDPStreamer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: %w", err)
+	}
+	return &UDPStreamer{conn: conn}, nil
+}
+
+// Emit implements profiler.Sink.
+func (u *UDPStreamer) Emit(e profiler.Event) {
+	u.send(Msg{Kind: MsgEvent, Payload: e.Marshal()})
+}
+
+// Hello announces the server to the client.
+func (u *UDPStreamer) Hello(serverName string) {
+	u.send(Msg{Kind: MsgHello, Payload: serverName})
+}
+
+// SendDot streams a dot file (the server emits it "before query
+// execution begins", §4.2).
+func (u *UDPStreamer) SendDot(planName, dotText string) {
+	u.send(Msg{Kind: MsgDotBegin, Payload: planName})
+	for _, line := range strings.Split(strings.TrimRight(dotText, "\n"), "\n") {
+		u.send(Msg{Kind: MsgDotLine, Payload: line})
+	}
+	u.send(Msg{Kind: MsgDotEnd})
+}
+
+func (u *UDPStreamer) send(m Msg) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if _, err := u.conn.Write(Encode(m)); err != nil {
+		u.dropped++
+	}
+}
+
+// Dropped reports how many datagrams failed to send.
+func (u *UDPStreamer) Dropped() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.dropped
+}
+
+// Close releases the socket.
+func (u *UDPStreamer) Close() error { return u.conn.Close() }
+
+// Handler consumes decoded messages with their source address.
+type Handler func(from string, m Msg)
+
+// Listener receives datagrams on a UDP socket and dispatches them to a
+// handler — the receive loop of the textual Stethoscope. It supports
+// traffic from multiple servers simultaneously (§3.2: "can connect to
+// multiple MonetDB servers at the same time"); the source address keys
+// the per-server demultiplexing.
+type Listener struct {
+	conn   *net.UDPConn
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Listen opens a UDP socket on addr ("127.0.0.1:0" for an ephemeral
+// port) and starts the receive loop.
+func Listen(addr string, h Handler) (*Listener, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: %w", err)
+	}
+	l := &Listener{conn: conn, closed: make(chan struct{})}
+	l.wg.Add(1)
+	go l.loop(h)
+	return l, nil
+}
+
+// Addr returns the bound address, for handing to servers.
+func (l *Listener) Addr() string { return l.conn.LocalAddr().String() }
+
+func (l *Listener) loop(h Handler) {
+	defer l.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-l.closed:
+				return
+			default:
+			}
+			continue
+		}
+		m, err := Decode(buf[:n])
+		if err != nil {
+			continue // ignore malformed datagrams
+		}
+		h(from.String(), m)
+	}
+}
+
+// Close stops the receive loop and releases the socket.
+func (l *Listener) Close() error {
+	close(l.closed)
+	err := l.conn.Close()
+	l.wg.Wait()
+	return err
+}

@@ -1,0 +1,214 @@
+// Package profiler reproduces the MAL profiler: the MonetDB kernel
+// component that emits one "start" and one "done" event per executed MAL
+// instruction (paper §3.3), carrying OS-level measurements (cpu time,
+// memory, IO counts) alongside the statement text. Events flow to
+// pluggable sinks: an in-memory ring buffer (the online mode's sampling
+// buffer), trace files for offline analysis, and UDP streams to the
+// textual Stethoscope.
+package profiler
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// State is the instruction lifecycle state carried on an event.
+type State int
+
+// Lifecycle states. The paper's coloring maps start -> RED, done -> GREEN.
+const (
+	StateStart State = iota
+	StateDone
+)
+
+// String returns the trace spelling ("start" / "done").
+func (s State) String() string {
+	if s == StateDone {
+		return "done"
+	}
+	return "start"
+}
+
+// ParseState parses the trace spelling.
+func ParseState(s string) (State, error) {
+	switch s {
+	case "start":
+		return StateStart, nil
+	case "done":
+		return StateDone, nil
+	}
+	return StateStart, fmt.Errorf("profiler: unknown state %q", s)
+}
+
+// Event is one profiler record. Field names follow the paper's trace
+// description: "event" is the sequence index used to key the trace store,
+// "pc" maps to dot node nN, and "stmt" maps to the dot label (§3.3).
+type Event struct {
+	Seq    int64  // event: monotonically increasing per profiler
+	State  State  // status: start or done
+	PC     int    // pc: program counter of the instruction
+	Thread int    // thread: worker that executed the instruction
+	ClkUs  int64  // clk: microseconds since query start
+	DurUs  int64  // usec: instruction execution time (done events)
+	RSSKB  int64  // rss: estimated resident set, KiB
+	Reads  int64  // reads: input tuples consumed
+	Writes int64  // writes: output tuples produced
+	Stmt   string // stmt: MAL statement text
+}
+
+// Marshal renders the event as one trace line:
+//
+//	event=3 status=done pc=1 thread=2 clk=120 usec=45 rss=4096 reads=100 writes=10 stmt="X_1 := ...;"
+//
+// The format is the reproduction's stand-in for the MonetDB profiler's
+// stream records (Fig. 3): same fields, line-oriented, parseable.
+func (e Event) Marshal() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "event=%d status=%s pc=%d thread=%d clk=%d usec=%d rss=%d reads=%d writes=%d stmt=%s",
+		e.Seq, e.State, e.PC, e.Thread, e.ClkUs, e.DurUs, e.RSSKB, e.Reads, e.Writes,
+		strconv.Quote(e.Stmt))
+	return b.String()
+}
+
+// UnmarshalEvent parses a line produced by Marshal. Unknown keys are
+// ignored so the format can grow.
+func UnmarshalEvent(line string) (Event, error) {
+	var e Event
+	rest := strings.TrimSpace(line)
+	if rest == "" {
+		return e, fmt.Errorf("profiler: empty trace line")
+	}
+	seen := map[string]bool{}
+	for len(rest) > 0 {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return e, fmt.Errorf("profiler: malformed trace line near %q", rest)
+		}
+		key := rest[:eq]
+		rest = rest[eq+1:]
+		var val string
+		if strings.HasPrefix(rest, `"`) {
+			unq, n, err := unquotePrefix(rest)
+			if err != nil {
+				return e, fmt.Errorf("profiler: bad quoted value for %s: %w", key, err)
+			}
+			val = unq
+			rest = strings.TrimLeft(rest[n:], " ")
+			if err := setField(&e, key, val, true); err != nil {
+				return e, err
+			}
+			seen[key] = true
+			continue
+		}
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			val, rest = rest, ""
+		} else {
+			val, rest = rest[:sp], strings.TrimLeft(rest[sp:], " ")
+		}
+		if err := setField(&e, key, val, false); err != nil {
+			return e, err
+		}
+		seen[key] = true
+	}
+	for _, req := range []string{"event", "status", "pc"} {
+		if !seen[req] {
+			return e, fmt.Errorf("profiler: trace line missing %s field", req)
+		}
+	}
+	return e, nil
+}
+
+func setField(e *Event, key, val string, quoted bool) error {
+	num := func() (int64, error) {
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("profiler: bad %s value %q", key, val)
+		}
+		return n, nil
+	}
+	switch key {
+	case "event":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		e.Seq = n
+	case "status":
+		st, err := ParseState(val)
+		if err != nil {
+			return err
+		}
+		e.State = st
+	case "pc":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		e.PC = int(n)
+	case "thread":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		e.Thread = int(n)
+	case "clk":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		e.ClkUs = n
+	case "usec":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		e.DurUs = n
+	case "rss":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		e.RSSKB = n
+	case "reads":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		e.Reads = n
+	case "writes":
+		n, err := num()
+		if err != nil {
+			return err
+		}
+		e.Writes = n
+	case "stmt":
+		if !quoted {
+			return fmt.Errorf("profiler: stmt value must be quoted")
+		}
+		e.Stmt = val
+	}
+	return nil
+}
+
+// unquotePrefix unquotes the leading Go-quoted string of s and returns
+// the value plus the number of input bytes consumed.
+func unquotePrefix(s string) (string, int, error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", 0, fmt.Errorf("not quoted")
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", 0, err
+			}
+			return unq, i + 1, nil
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quote")
+}

@@ -1,0 +1,292 @@
+package profiler
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"time"
+)
+
+// Filter selects which events a profiler emits. The paper: "The profiler
+// accepts filter options set through Stethoscope, which enables it to
+// profile only a subset of event types." A zero Filter passes everything.
+type Filter struct {
+	// States restricts to the listed states when non-empty.
+	States []State
+	// Modules restricts to instructions of the listed MAL modules when
+	// non-empty (matched against the "module." prefix of the stmt).
+	Modules []string
+	// MinDurUs drops done events faster than this threshold; start events
+	// are unaffected (their duration is unknown yet).
+	MinDurUs int64
+	// PCs restricts to specific program counters when non-empty.
+	PCs []int
+}
+
+// Pass reports whether the event passes the filter. module is the
+// instruction's MAL module (empty when unknown, which passes).
+func (f Filter) Pass(e Event, module string) bool {
+	if len(f.States) > 0 {
+		ok := false
+		for _, s := range f.States {
+			if e.State == s {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.Modules) > 0 && module != "" {
+		ok := false
+		for _, m := range f.Modules {
+			if m == module {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.MinDurUs > 0 && e.State == StateDone && e.DurUs < f.MinDurUs {
+		return false
+	}
+	if len(f.PCs) > 0 {
+		ok := false
+		for _, pc := range f.PCs {
+			if e.PC == pc {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Sink consumes profiler events.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Profiler instruments a MAL execution: the engine calls Begin/End around
+// every instruction and the profiler fans filtered events out to its
+// sinks. It is safe for concurrent use by the dataflow scheduler's
+// workers.
+type Profiler struct {
+	mu     sync.Mutex
+	seq    int64
+	start  time.Time
+	filter Filter
+	sinks  []Sink
+	// now allows tests to control the clock.
+	now func() time.Time
+}
+
+// New returns a profiler emitting to the given sinks.
+func New(sinks ...Sink) *Profiler {
+	return &Profiler{start: time.Now(), now: time.Now, sinks: sinks}
+}
+
+// SetFilter replaces the event filter (Stethoscope's filter-options
+// window drives this).
+func (p *Profiler) SetFilter(f Filter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.filter = f
+}
+
+// AddSink attaches an additional sink.
+func (p *Profiler) AddSink(s Sink) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sinks = append(p.sinks, s)
+}
+
+// Reset restarts the clock and sequence numbering for a new query.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq = 0
+	p.start = p.now()
+}
+
+// SetClock overrides the time source (tests).
+func (p *Profiler) SetClock(now func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+	p.start = now()
+}
+
+// Span tracks one instruction execution between Begin and End.
+type Span struct {
+	p       *Profiler
+	pc      int
+	thread  int
+	stmt    string
+	module  string
+	started time.Time
+}
+
+// Begin emits the start event for an instruction and returns a span to
+// close with End.
+func (p *Profiler) Begin(pc, thread int, module, stmt string) *Span {
+	p.mu.Lock()
+	started := p.now()
+	e := Event{
+		Seq:    p.seq,
+		State:  StateStart,
+		PC:     pc,
+		Thread: thread,
+		ClkUs:  started.Sub(p.start).Microseconds(),
+		Stmt:   stmt,
+	}
+	p.seq++
+	p.emitLocked(e, module)
+	p.mu.Unlock()
+	return &Span{p: p, pc: pc, thread: thread, stmt: stmt, module: module, started: started}
+}
+
+// End emits the done event with the measured duration and the supplied
+// resource accounting.
+func (s *Span) End(rssKB, reads, writes int64) {
+	p := s.p
+	p.mu.Lock()
+	nowT := p.now()
+	e := Event{
+		Seq:    p.seq,
+		State:  StateDone,
+		PC:     s.pc,
+		Thread: s.thread,
+		ClkUs:  nowT.Sub(p.start).Microseconds(),
+		DurUs:  nowT.Sub(s.started).Microseconds(),
+		RSSKB:  rssKB,
+		Reads:  reads,
+		Writes: writes,
+		Stmt:   s.stmt,
+	}
+	p.seq++
+	p.emitLocked(e, s.module)
+	p.mu.Unlock()
+}
+
+func (p *Profiler) emitLocked(e Event, module string) {
+	if !p.filter.Pass(e, module) {
+		return
+	}
+	for _, s := range p.sinks {
+		s.Emit(e)
+	}
+}
+
+// RingBuffer is a bounded in-memory sink: the online mode's sampling
+// buffer (paper §4.2: "as the trace file grows in size, its content is
+// sampled in a buffer"). When full, the oldest events are dropped.
+type RingBuffer struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRingBuffer returns a ring holding up to n events.
+func NewRingBuffer(n int) *RingBuffer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingBuffer{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *RingBuffer) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Snapshot returns the buffered events oldest-first.
+func (r *RingBuffer) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len reports how many events are buffered.
+func (r *RingBuffer) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// WriterSink writes marshaled events, one per line, to an io.Writer —
+// the trace-file sink used by offline analysis. Flush before reading the
+// file back.
+type WriterSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// NewWriterSink wraps w.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (s *WriterSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.WriteString(e.Marshal())
+	s.w.WriteByte('\n')
+}
+
+// Flush drains buffered output.
+func (s *WriterSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// SliceSink accumulates events in memory (tests and small traces).
+type SliceSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *SliceSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+// Events returns a copy of the accumulated events.
+func (s *SliceSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

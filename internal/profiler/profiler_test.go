@@ -1,0 +1,240 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventMarshalRoundTrip(t *testing.T) {
+	e := Event{
+		Seq: 12, State: StateDone, PC: 3, Thread: 2,
+		ClkUs: 1200, DurUs: 345, RSSKB: 4096, Reads: 100, Writes: 50,
+		Stmt: `X_5:bat[:oid] := algebra.thetaselect(X_1, "=", 1);`,
+	}
+	line := e.Marshal()
+	got, err := UnmarshalEvent(line)
+	if err != nil {
+		t.Fatalf("Unmarshal(%q): %v", line, err)
+	}
+	if got != e {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+func TestEventMarshalQuickProperty(t *testing.T) {
+	f := func(seq int64, pc, thread uint16, dur int64, stmt string) bool {
+		e := Event{
+			Seq: seq, State: StateStart, PC: int(pc), Thread: int(thread),
+			DurUs: dur, Stmt: stmt,
+		}
+		got, err := UnmarshalEvent(e.Marshal())
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"event=1",                   // missing status, pc
+		"event=x status=start pc=1", // bad number
+		"event=1 status=limbo pc=1", // bad state
+		"event=1 status=start pc=1 stmt=unquoted",
+		`event=1 status=start pc=1 stmt="unterminated`,
+		"garbage",
+	}
+	for _, line := range bad {
+		if _, err := UnmarshalEvent(line); err == nil {
+			t.Errorf("UnmarshalEvent(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestUnmarshalIgnoresUnknownKeys(t *testing.T) {
+	got, err := UnmarshalEvent(`event=1 status=done pc=2 future=42 stmt="x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 || got.PC != 2 || got.Stmt != "x" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestProfilerBeginEndSequence(t *testing.T) {
+	sink := &SliceSink{}
+	p := New(sink)
+	clock := time.Unix(1000, 0)
+	p.SetClock(func() time.Time { return clock })
+
+	sp := p.Begin(0, 1, "algebra", "X_0 := algebra.select(...)")
+	clock = clock.Add(5 * time.Millisecond)
+	sp.End(128, 1000, 10)
+
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].State != StateStart || evs[1].State != StateDone {
+		t.Errorf("states = %v %v", evs[0].State, evs[1].State)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Errorf("seqs = %d %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[1].DurUs != 5000 {
+		t.Errorf("dur = %d us, want 5000", evs[1].DurUs)
+	}
+	if evs[1].Reads != 1000 || evs[1].Writes != 10 || evs[1].RSSKB != 128 {
+		t.Errorf("accounting = %+v", evs[1])
+	}
+}
+
+func TestProfilerReset(t *testing.T) {
+	sink := &SliceSink{}
+	p := New(sink)
+	p.Begin(0, 0, "m", "s").End(0, 0, 0)
+	p.Reset()
+	p.Begin(1, 0, "m", "s").End(0, 0, 0)
+	evs := sink.Events()
+	if evs[2].Seq != 0 {
+		t.Errorf("post-reset seq = %d", evs[2].Seq)
+	}
+}
+
+func TestFilterStates(t *testing.T) {
+	sink := &SliceSink{}
+	p := New(sink)
+	p.SetFilter(Filter{States: []State{StateDone}})
+	p.Begin(0, 0, "algebra", "s").End(0, 0, 0)
+	evs := sink.Events()
+	if len(evs) != 1 || evs[0].State != StateDone {
+		t.Errorf("filtered events = %+v", evs)
+	}
+}
+
+func TestFilterModules(t *testing.T) {
+	sink := &SliceSink{}
+	p := New(sink)
+	p.SetFilter(Filter{Modules: []string{"algebra"}})
+	p.Begin(0, 0, "algebra", "a").End(0, 0, 0)
+	p.Begin(1, 0, "sql", "b").End(0, 0, 0)
+	if got := len(sink.Events()); got != 2 {
+		t.Errorf("module filter kept %d events, want 2", got)
+	}
+}
+
+func TestFilterMinDuration(t *testing.T) {
+	sink := &SliceSink{}
+	p := New(sink)
+	clock := time.Unix(0, 0)
+	p.SetClock(func() time.Time { return clock })
+	p.SetFilter(Filter{MinDurUs: 1000})
+	// Fast instruction: start passes, done dropped.
+	sp := p.Begin(0, 0, "m", "fast")
+	sp.End(0, 0, 0)
+	// Slow instruction: both pass.
+	sp = p.Begin(1, 0, "m", "slow")
+	clock = clock.Add(2 * time.Millisecond)
+	sp.End(0, 0, 0)
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	for _, e := range evs {
+		if e.State == StateDone && e.Stmt == "fast" {
+			t.Error("fast done event not filtered")
+		}
+	}
+}
+
+func TestFilterPCs(t *testing.T) {
+	f := Filter{PCs: []int{2, 4}}
+	if f.Pass(Event{PC: 3}, "") {
+		t.Error("pc 3 passed filter {2,4}")
+	}
+	if !f.Pass(Event{PC: 4}, "") {
+		t.Error("pc 4 blocked by filter {2,4}")
+	}
+}
+
+func TestRingBufferWrap(t *testing.T) {
+	r := NewRingBuffer(3)
+	for i := int64(0); i < 5; i++ {
+		r.Emit(Event{Seq: i})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	if snap[0].Seq != 2 || snap[2].Seq != 4 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRingBufferPartial(t *testing.T) {
+	r := NewRingBuffer(10)
+	r.Emit(Event{Seq: 1})
+	r.Emit(Event{Seq: 2})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if NewRingBuffer(0).Len() != 0 {
+		t.Error("zero-size ring should clamp to 1")
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+	s.Emit(Event{Seq: 1, State: StateStart, PC: 0, Stmt: "a"})
+	s.Emit(Event{Seq: 2, State: StateDone, PC: 0, Stmt: "a"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, ln := range lines {
+		if _, err := UnmarshalEvent(ln); err != nil {
+			t.Errorf("line %q unparseable: %v", ln, err)
+		}
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	sink := &SliceSink{}
+	p := New(sink)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				p.Begin(i, w, "m", "s").End(0, 0, 0)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	evs := sink.Events()
+	if len(evs) != 1600 {
+		t.Fatalf("events = %d, want 1600", len(evs))
+	}
+	// Sequence numbers must be unique.
+	seen := map[int64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

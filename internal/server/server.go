@@ -1,0 +1,442 @@
+// Package server implements the Mserver front-end of the reproduction:
+// "Mserver is the MonetDB database server ... It listens for the incoming
+// client connections on user defined ports. Stethoscope connects to
+// Mserver as a client." (paper §3). The protocol is line-oriented over
+// TCP: clients set execution options, point the profiler's UDP stream at
+// a textual Stethoscope, and submit queries; plan dot files are emitted
+// over the UDP stream before execution begins, exactly as §4.2 describes.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/dot"
+	"stethoscope/internal/engine"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/netproto"
+	"stethoscope/internal/optimizer"
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+)
+
+// Server wraps an engine behind the TCP command protocol.
+type Server struct {
+	Name string
+	eng  *engine.Engine
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// New creates a server over the catalog.
+func New(name string, cat *storage.Catalog) *Server {
+	return &Server{Name: name, eng: engine.New(cat)}
+}
+
+// Engine exposes the underlying engine (examples drive it directly).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Listen binds the TCP port ("127.0.0.1:0" picks a free one) and serves
+// until Close.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound TCP address.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// session is per-connection state.
+type session struct {
+	srv        *Server
+	partitions int
+	workers    int
+	filter     profiler.Filter
+	streamer   *netproto.UDPStreamer
+	prof       *profiler.Profiler
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{srv: s, partitions: 1, workers: 1}
+	defer func() {
+		if sess.streamer != nil {
+			sess.streamer.Close()
+		}
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	fmt.Fprintf(w, "ok stethoscope-mserver %s\n", s.Name)
+	w.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") {
+			fmt.Fprintln(w, "ok bye")
+			w.Flush()
+			return
+		}
+		sess.dispatch(w, line)
+		w.Flush()
+	}
+}
+
+func (sess *session) dispatch(w *bufio.Writer, line string) {
+	cmd, rest := line, ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		cmd, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	switch strings.ToUpper(cmd) {
+	case "SET":
+		sess.cmdSet(w, rest)
+	case "TRACE":
+		sess.cmdTrace(w, rest)
+	case "FILTER":
+		sess.cmdFilter(w, rest)
+	case "EXPLAIN":
+		sess.cmdExplain(w, rest)
+	case "ALGEBRA":
+		sess.cmdAlgebra(w, rest)
+	case "DOT":
+		sess.cmdDot(w, rest)
+	case "QUERY":
+		sess.cmdQuery(w, rest)
+	case "TABLES":
+		fmt.Fprintln(w, "ok")
+		for _, t := range sess.srv.eng.Catalog().TableNames() {
+			fmt.Fprintln(w, t)
+		}
+		fmt.Fprintln(w, ".")
+	default:
+		fmt.Fprintf(w, "err unknown command %q\n", cmd)
+	}
+}
+
+func (sess *session) cmdSet(w *bufio.Writer, rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		fmt.Fprintln(w, "err usage: SET <partitions|workers> <n>")
+		return
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 1 {
+		fmt.Fprintf(w, "err bad value %q\n", fields[1])
+		return
+	}
+	switch strings.ToLower(fields[0]) {
+	case "partitions":
+		sess.partitions = n
+	case "workers":
+		sess.workers = n
+	default:
+		fmt.Fprintf(w, "err unknown setting %q\n", fields[0])
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (sess *session) cmdTrace(w *bufio.Writer, addr string) {
+	if addr == "" {
+		fmt.Fprintln(w, "err usage: TRACE <udp host:port>")
+		return
+	}
+	streamer, err := netproto.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(w, "err %v\n", err)
+		return
+	}
+	if sess.streamer != nil {
+		sess.streamer.Close()
+	}
+	sess.streamer = streamer
+	sess.prof = profiler.New(streamer)
+	sess.prof.SetFilter(sess.filter)
+	streamer.Hello(sess.srv.Name)
+	fmt.Fprintln(w, "ok tracing to "+addr)
+}
+
+// cmdFilter parses "FILTER states=done modules=algebra,sql mindur=100
+// pcs=1,2,3"; an empty rest clears the filter. This is the profiler-side
+// filtering the paper's filter-options window drives.
+func (sess *session) cmdFilter(w *bufio.Writer, rest string) {
+	f := profiler.Filter{}
+	for _, field := range strings.Fields(rest) {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			fmt.Fprintf(w, "err bad filter term %q\n", field)
+			return
+		}
+		switch kv[0] {
+		case "states":
+			for _, s := range strings.Split(kv[1], ",") {
+				st, err := profiler.ParseState(s)
+				if err != nil {
+					fmt.Fprintf(w, "err %v\n", err)
+					return
+				}
+				f.States = append(f.States, st)
+			}
+		case "modules":
+			f.Modules = strings.Split(kv[1], ",")
+		case "mindur":
+			n, err := strconv.ParseInt(kv[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "err bad mindur %q\n", kv[1])
+				return
+			}
+			f.MinDurUs = n
+		case "pcs":
+			for _, s := range strings.Split(kv[1], ",") {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					fmt.Fprintf(w, "err bad pc %q\n", s)
+					return
+				}
+				f.PCs = append(f.PCs, n)
+			}
+		default:
+			fmt.Fprintf(w, "err unknown filter key %q\n", kv[0])
+			return
+		}
+	}
+	sess.filter = f
+	if sess.prof != nil {
+		sess.prof.SetFilter(f)
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// compile turns SQL into an optimized MAL plan under the session's
+// settings.
+func (sess *session) compile(query string) (*mal.Plan, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := algebra.Bind(stmt, sess.srv.eng.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: sess.partitions})
+	if err != nil {
+		return nil, err
+	}
+	opt, _, err := optimizer.Default().Run(plan)
+	if err != nil {
+		return nil, err
+	}
+	return opt, nil
+}
+
+// cmdAlgebra prints the bound relational-algebra tree, the stage between
+// SQL and MAL (paper §2).
+func (sess *session) cmdAlgebra(w *bufio.Writer, query string) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		fmt.Fprintf(w, "err %v\n", err)
+		return
+	}
+	tree, err := algebra.Bind(stmt, sess.srv.eng.Catalog())
+	if err != nil {
+		fmt.Fprintf(w, "err %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+	fmt.Fprint(w, algebra.Tree(tree))
+	fmt.Fprintln(w, ".")
+}
+
+func (sess *session) cmdExplain(w *bufio.Writer, query string) {
+	plan, err := sess.compile(query)
+	if err != nil {
+		fmt.Fprintf(w, "err %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+	fmt.Fprint(w, plan.String())
+	fmt.Fprintln(w, ".")
+}
+
+func (sess *session) cmdDot(w *bufio.Writer, query string) {
+	plan, err := sess.compile(query)
+	if err != nil {
+		fmt.Fprintf(w, "err %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+	fmt.Fprint(w, dot.Export(plan).Marshal())
+	fmt.Fprintln(w, ".")
+}
+
+func (sess *session) cmdQuery(w *bufio.Writer, query string) {
+	plan, err := sess.compile(query)
+	if err != nil {
+		fmt.Fprintf(w, "err %v\n", err)
+		return
+	}
+	// The server generates the dot file and sends it over the UDP stream
+	// before query execution begins (§4.2).
+	if sess.streamer != nil {
+		sess.streamer.SendDot(query, dot.Export(plan).Marshal())
+	}
+	res, err := sess.srv.eng.Run(plan, engine.Options{
+		Workers:  sess.workers,
+		Profiler: sess.prof,
+	})
+	if err != nil {
+		fmt.Fprintf(w, "err %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+	WriteResult(w, res)
+	fmt.Fprintln(w, ".")
+}
+
+// WriteResult renders a result table as tab-separated text with a header
+// line.
+func WriteResult(w *bufio.Writer, res *engine.Result) {
+	if res == nil {
+		return
+	}
+	fmt.Fprintln(w, strings.Join(res.Names, "\t"))
+	for i := 0; i < res.Rows(); i++ {
+		for c, col := range res.Cols {
+			if c > 0 {
+				w.WriteByte('\t')
+			}
+			w.WriteString(cellString(col, i))
+		}
+		w.WriteByte('\n')
+	}
+}
+
+func cellString(b *storage.BAT, i int) string {
+	switch b.Kind() {
+	case storage.Flt:
+		return strconv.FormatFloat(b.FltAt(i), 'g', -1, 64)
+	case storage.Str:
+		return b.StrAt(i)
+	case storage.Bool:
+		return strconv.FormatBool(b.BoolAt(i))
+	case storage.Date:
+		return sql.FormatDate(b.IntAt(i))
+	default:
+		return strconv.FormatInt(b.IntAt(i), 10)
+	}
+}
+
+// Client is a minimal protocol client for tools and tests.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// DialServer connects and consumes the greeting.
+func DialServer(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn)}
+	greeting, err := c.r.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if !strings.HasPrefix(greeting, "ok ") {
+		conn.Close()
+		return nil, fmt.Errorf("server: unexpected greeting %q", greeting)
+	}
+	return c, nil
+}
+
+// Command sends one line and collects the response: status plus payload
+// lines up to the "." terminator for multiline responses.
+func (c *Client) Command(line string) (string, []string, error) {
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return "", nil, err
+	}
+	status, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", nil, err
+	}
+	status = strings.TrimSpace(status)
+	if strings.HasPrefix(status, "err") {
+		return status, nil, fmt.Errorf("server: %s", status)
+	}
+	cmd := strings.ToUpper(strings.Fields(line)[0])
+	if cmd != "EXPLAIN" && cmd != "ALGEBRA" && cmd != "DOT" && cmd != "QUERY" && cmd != "TABLES" {
+		return status, nil, nil
+	}
+	var payload []string
+	for {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			return status, payload, err
+		}
+		l = strings.TrimRight(l, "\n")
+		if l == "." {
+			return status, payload, nil
+		}
+		payload = append(payload, l)
+	}
+}
+
+// Close terminates the connection politely.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.conn, "quit")
+	return c.conn.Close()
+}

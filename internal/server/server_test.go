@@ -1,0 +1,243 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"stethoscope/internal/core"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/tpch"
+)
+
+func startServer(t testing.TB) *Server {
+	t.Helper()
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: 0.001, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New("test-server", cat)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dialServer(t testing.TB, srv *Server) *Client {
+	t.Helper()
+	c, err := DialServer(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestGreetingAndTables(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	status, payload, err := c.Command("TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "ok" {
+		t.Errorf("status = %q", status)
+	}
+	if len(payload) != 8 {
+		t.Errorf("tables = %v", payload)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	_, payload, err := c.Command("QUERY select count(*) as n from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 2 || payload[0] != "n" {
+		t.Fatalf("payload = %v", payload)
+	}
+	li, _ := srv.Engine().Catalog().Table("sys", "lineitem")
+	if payload[1] != strconv.Itoa(li.Rows()) {
+		t.Errorf("count = %s, want %d", payload[1], li.Rows())
+	}
+}
+
+func TestExplainAndDot(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	_, listing, err := c.Command("EXPLAIN select l_tax from lineitem where l_partkey=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(listing, "\n")
+	if !strings.Contains(joined, "algebra.thetaselect") {
+		t.Errorf("explain missing selection:\n%s", joined)
+	}
+	_, dotLines, err := c.Command("DOT select l_tax from lineitem where l_partkey=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dotLines[0], "digraph") {
+		t.Errorf("dot output:\n%s", strings.Join(dotLines, "\n"))
+	}
+}
+
+func TestSetPartitionsChangesPlan(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	_, base, err := c.Command("DOT select l_tax from lineitem where l_partkey=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Command("SET partitions 8"); err != nil {
+		t.Fatal(err)
+	}
+	_, part, err := c.Command("DOT select l_tax from lineitem where l_partkey=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) <= len(base) {
+		t.Errorf("partitioned dot not larger: %d vs %d lines", len(part), len(base))
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	if _, _, err := c.Command("QUERY select nope from lineitem"); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, _, err := c.Command("NONSENSE"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, _, err := c.Command("SET partitions zero"); err == nil {
+		t.Error("bad SET accepted")
+	}
+	if _, _, err := c.Command("FILTER wat"); err == nil {
+		t.Error("bad FILTER accepted")
+	}
+	// Connection still usable after errors.
+	if _, _, err := c.Command("TABLES"); err != nil {
+		t.Fatalf("connection broken after error: %v", err)
+	}
+}
+
+func TestOnlineEndToEnd(t *testing.T) {
+	// Full paper workflow: textual stethoscope listens on UDP, the server
+	// streams dot + trace during QUERY, the client builds a session and
+	// colors it.
+	srv := startServer(t)
+	ts, err := core.StartTextual("127.0.0.1:0", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	c := dialServer(t, srv)
+	if _, _, err := c.Command("TRACE " + ts.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Command("SET workers 4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Command("SET partitions 4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Command("QUERY select l_tax from lineitem where l_partkey=1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the stream to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	var addr string
+	for time.Now().Before(deadline) {
+		for _, a := range ts.Servers() {
+			ss, _ := ts.Server(a)
+			if _, err := ss.Graph(); err == nil && len(ss.Events()) > 0 {
+				addr = a
+			}
+		}
+		if addr != "" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("no complete stream received")
+	}
+	ss, _ := ts.Server(addr)
+	if ss.ServerName() != "test-server" {
+		t.Errorf("server name = %q", ss.ServerName())
+	}
+	sess, err := ts.OpenOnlineSession(addr, core.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Graph.Nodes) == 0 {
+		t.Error("empty online graph")
+	}
+	if len(sess.Mapping.Unmatched) != 0 {
+		t.Errorf("unmatched pcs: %v", sess.Mapping.Unmatched)
+	}
+}
+
+func TestServerFilterReducesStream(t *testing.T) {
+	srv := startServer(t)
+	ts, err := core.StartTextual("127.0.0.1:0", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	c := dialServer(t, srv)
+	if _, _, err := c.Command("TRACE " + ts.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Command("FILTER states=done"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Command("QUERY select l_tax from lineitem where l_partkey=1"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, a := range ts.Servers() {
+			ss, _ := ts.Server(a)
+			evs := ss.Events()
+			if len(evs) > 0 {
+				time.Sleep(50 * time.Millisecond) // allow stragglers
+				evs = ss.Events()
+				for _, e := range evs {
+					if e.State.String() != "done" {
+						t.Fatalf("filtered stream leaked %v", e.State)
+					}
+				}
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no events received")
+}
+
+func TestAlgebraCommand(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	_, tree, err := c.Command("ALGEBRA select l_returnflag, sum(l_quantity) from lineitem where l_partkey < 5 group by l_returnflag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(tree, "\n")
+	for _, want := range []string{"project", "group by", "filter", "scan sys.lineitem"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("algebra tree missing %q:\n%s", want, joined)
+		}
+	}
+	if _, _, err := c.Command("ALGEBRA select nope from lineitem"); err == nil {
+		t.Error("bad algebra query accepted")
+	}
+}

@@ -1,0 +1,318 @@
+package storage
+
+import "fmt"
+
+// ArithOp is an elementwise arithmetic operator used by batcalc kernels.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// String returns the operator symbol.
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	}
+	return "?"
+}
+
+// numeric promotion: any Flt operand promotes the result to Flt.
+
+func fltAt(b *BAT, i int) float64 {
+	if b.kind == Flt {
+		return b.flts[i]
+	}
+	return float64(b.ints[i])
+}
+
+func isNumeric(k Kind) bool { return k == Flt || k.usesInts() }
+
+// Arith computes l op r elementwise over equal-length numeric BATs
+// (MAL's batcalc.+ etc.). Integer inputs stay integer except for Div,
+// which always produces Flt, matching SQL semantics for "/" in this
+// reproduction. Division by zero yields 0 with no error, mirroring
+// MonetDB's nil-propagation simplified to a zero default.
+func Arith(op ArithOp, l, r *BAT) (*BAT, error) {
+	if !isNumeric(l.kind) || !isNumeric(r.kind) {
+		return nil, fmt.Errorf("storage: arithmetic over %s and %s", l.kind, r.kind)
+	}
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("storage: arithmetic over %d and %d rows", l.Len(), r.Len())
+	}
+	n := l.Len()
+	if op == Div || l.kind == Flt || r.kind == Flt {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a, b := fltAt(l, i), fltAt(r, i)
+			switch op {
+			case Add:
+				out[i] = a + b
+			case Sub:
+				out[i] = a - b
+			case Mul:
+				out[i] = a * b
+			default:
+				if b != 0 {
+					out[i] = a / b
+				}
+			}
+		}
+		return FromFloats(out), nil
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		a, b := l.ints[i], r.ints[i]
+		switch op {
+		case Add:
+			out[i] = a + b
+		case Sub:
+			out[i] = a - b
+		default:
+			out[i] = a * b
+		}
+	}
+	return FromInts(Int, out), nil
+}
+
+// ArithScalar computes b op v (or v op b when flip) elementwise against a
+// scalar, MAL's batcalc with one constant operand.
+func ArithScalar(op ArithOp, b *BAT, v Val, flip bool) (*BAT, error) {
+	if !isNumeric(b.kind) || !isNumeric(v.Kind) {
+		return nil, fmt.Errorf("storage: scalar arithmetic over %s and %s", b.kind, v.Kind)
+	}
+	n := b.Len()
+	scalarF := v.F
+	if v.Kind.usesInts() {
+		scalarF = float64(v.I)
+	}
+	if op == Div || b.kind == Flt || v.Kind == Flt {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a, c := fltAt(b, i), scalarF
+			if flip {
+				a, c = c, a
+			}
+			switch op {
+			case Add:
+				out[i] = a + c
+			case Sub:
+				out[i] = a - c
+			case Mul:
+				out[i] = a * c
+			default:
+				if c != 0 {
+					out[i] = a / c
+				}
+			}
+		}
+		return FromFloats(out), nil
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		a, c := b.ints[i], v.I
+		if flip {
+			a, c = c, a
+		}
+		switch op {
+		case Add:
+			out[i] = a + c
+		case Sub:
+			out[i] = a - c
+		default:
+			out[i] = a * c
+		}
+	}
+	return FromInts(Int, out), nil
+}
+
+// Compare evaluates l op r elementwise and returns a Bool BAT, MAL's
+// batcalc comparison kernels, used for disjunctive predicates that cannot
+// be expressed as candidate-list selections.
+func Compare(op CmpOp, l, r *BAT) (*BAT, error) {
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("storage: compare over %d and %d rows", l.Len(), r.Len())
+	}
+	if l.kind != r.kind && !(isNumeric(l.kind) && isNumeric(r.kind)) {
+		return nil, fmt.Errorf("storage: compare %s with %s", l.kind, r.kind)
+	}
+	n := l.Len()
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		var c int
+		switch {
+		case l.kind == Str:
+			switch {
+			case l.strs[i] < r.strs[i]:
+				c = -1
+			case l.strs[i] > r.strs[i]:
+				c = 1
+			}
+		case l.kind == Bool:
+			switch {
+			case !l.bools[i] && r.bools[i]:
+				c = -1
+			case l.bools[i] && !r.bools[i]:
+				c = 1
+			}
+		case l.kind == Flt || r.kind == Flt:
+			a, b := fltAt(l, i), fltAt(r, i)
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+		default:
+			switch {
+			case l.ints[i] < r.ints[i]:
+				c = -1
+			case l.ints[i] > r.ints[i]:
+				c = 1
+			}
+		}
+		switch op {
+		case EQ:
+			out[i] = c == 0
+		case NE:
+			out[i] = c != 0
+		case LT:
+			out[i] = c < 0
+		case LE:
+			out[i] = c <= 0
+		case GT:
+			out[i] = c > 0
+		default:
+			out[i] = c >= 0
+		}
+	}
+	return FromBools(out), nil
+}
+
+// BoolCombine computes the elementwise AND/OR of two Bool BATs.
+func BoolCombine(and bool, l, r *BAT) (*BAT, error) {
+	if l.kind != Bool || r.kind != Bool {
+		return nil, fmt.Errorf("storage: boolean combine over %s and %s", l.kind, r.kind)
+	}
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("storage: boolean combine over %d and %d rows", l.Len(), r.Len())
+	}
+	out := make([]bool, l.Len())
+	for i := range out {
+		if and {
+			out[i] = l.bools[i] && r.bools[i]
+		} else {
+			out[i] = l.bools[i] || r.bools[i]
+		}
+	}
+	return FromBools(out), nil
+}
+
+// SelectTrue returns the oids of true rows in a Bool BAT, bridging
+// elementwise predicates back into candidate lists.
+func SelectTrue(b *BAT) (*BAT, error) {
+	if b.kind != Bool {
+		return nil, fmt.Errorf("storage: selectTrue over %s", b.kind)
+	}
+	out := New(OID, 0)
+	for i, v := range b.bools {
+		if v {
+			out.AppendInt(int64(i))
+		}
+	}
+	return out, nil
+}
+
+// CompareScalar evaluates b op v (or v op b when flip) elementwise and
+// returns a Bool BAT, the scalar-operand variant of Compare.
+func CompareScalar(op CmpOp, b *BAT, v Val, flip bool) (*BAT, error) {
+	if !compatible(b.kind, v) {
+		return nil, fmt.Errorf("storage: compare %s against %s operand", b.kind, v.Kind)
+	}
+	n := b.Len()
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		c := b.cmp(i, v)
+		if flip {
+			c = -c
+		}
+		switch op {
+		case EQ:
+			out[i] = c == 0
+		case NE:
+			out[i] = c != 0
+		case LT:
+			out[i] = c < 0
+		case LE:
+			out[i] = c <= 0
+		case GT:
+			out[i] = c > 0
+		default:
+			out[i] = c >= 0
+		}
+	}
+	return FromBools(out), nil
+}
+
+// BoolNot negates a Bool BAT elementwise.
+func BoolNot(b *BAT) (*BAT, error) {
+	if b.kind != Bool {
+		return nil, fmt.Errorf("storage: not over %s", b.kind)
+	}
+	out := make([]bool, b.Len())
+	for i, v := range b.bools {
+		out[i] = !v
+	}
+	return FromBools(out), nil
+}
+
+// LikeMatch evaluates a SQL LIKE pattern ('%' = any run, '_' = any one
+// byte) against every row of a string column, returning a Bool BAT.
+func LikeMatch(b *BAT, pattern string) (*BAT, error) {
+	if b.kind != Str {
+		return nil, fmt.Errorf("storage: like over %s", b.kind)
+	}
+	out := make([]bool, len(b.strs))
+	for i, s := range b.strs {
+		out[i] = likeMatch(s, pattern)
+	}
+	return FromBools(out), nil
+}
+
+// likeMatch implements LIKE with iterative backtracking over '%' (the
+// classic wildcard-match algorithm, linear in practice).
+func likeMatch(s, p string) bool {
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

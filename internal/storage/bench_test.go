@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchColumn(n int) *BAT {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i * 7 % 1000)
+	}
+	return FromInts(Int, vals)
+}
+
+func BenchmarkThetaSelect(b *testing.B) {
+	for _, n := range []int{1_000, 100_000} {
+		col := benchColumn(n)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ThetaSelect(col, LT, IntVal(500), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	col := benchColumn(100_000)
+	oids, _ := ThetaSelect(col, LT, IntVal(500), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Project(oids, col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	l := benchColumn(50_000)
+	r := benchColumn(1_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := HashJoin(l, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupAggr(b *testing.B) {
+	col := benchColumn(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, extents, n, err := Group(col, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Aggr(AggrSum, col, groups, n); err != nil {
+			b.Fatal(err)
+		}
+		_ = extents
+	}
+}
+
+func BenchmarkSortOrder(b *testing.B) {
+	col := benchColumn(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SortOrder(col, true)
+	}
+}
+
+func BenchmarkLikeMatch(b *testing.B) {
+	vals := make([]string, 10_000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("PROMO BURNISHED COPPER %d", i)
+	}
+	col := FromStrings(vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LikeMatch(col, "%BURNISHED%"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

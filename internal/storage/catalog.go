@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Column describes one column of a cataloged table.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Table is a named collection of equal-length BATs.
+type Table struct {
+	Schema  string
+	Name    string
+	Columns []Column
+	bats    map[string]*BAT
+}
+
+// Rows returns the table's row count (0 for a column-less table).
+func (t *Table) Rows() int {
+	for _, b := range t.bats {
+		return b.Len()
+	}
+	return 0
+}
+
+// Column returns the BAT backing the named column.
+func (t *Table) Column(name string) (*BAT, bool) {
+	b, ok := t.bats[name]
+	return b, ok
+}
+
+// ColumnKind returns the declared kind of the named column.
+func (t *Table) ColumnKind(name string) (Kind, bool) {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c.Kind, true
+		}
+	}
+	return Int, false
+}
+
+// Catalog is the in-memory schema registry the SQL binder and the MAL
+// sql.bind kernel resolve against. It is safe for concurrent readers and
+// writers.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table // key: schema.name
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+func key(schema, name string) string { return schema + "." + name }
+
+// Define registers a table with its columns; the data BATs must all have
+// the same length and match the declared kinds.
+func (c *Catalog) Define(schema, name string, cols []Column, data map[string]*BAT) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("storage: table %s.%s has no columns", schema, name)
+	}
+	rows := -1
+	for _, col := range cols {
+		b, ok := data[col.Name]
+		if !ok {
+			return fmt.Errorf("storage: table %s.%s missing data for column %s", schema, name, col.Name)
+		}
+		if b.Kind() != col.Kind {
+			return fmt.Errorf("storage: table %s.%s column %s declared %s but data is %s",
+				schema, name, col.Name, col.Kind, b.Kind())
+		}
+		if rows == -1 {
+			rows = b.Len()
+		} else if b.Len() != rows {
+			return fmt.Errorf("storage: table %s.%s column %s has %d rows, want %d",
+				schema, name, col.Name, b.Len(), rows)
+		}
+	}
+	t := &Table{Schema: schema, Name: name, Columns: append([]Column(nil), cols...), bats: make(map[string]*BAT, len(cols))}
+	for _, col := range cols {
+		t.bats[col.Name] = data[col.Name]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[key(schema, name)] = t
+	return nil
+}
+
+// Table looks up a table by schema and name.
+func (c *Catalog) Table(schema, name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(schema, name)]
+	return t, ok
+}
+
+// Bind resolves schema.table.column to its backing BAT, the MAL sql.bind
+// primitive.
+func (c *Catalog) Bind(schema, table, column string) (*BAT, error) {
+	t, ok := c.Table(schema, table)
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %s.%s", schema, table)
+	}
+	b, ok := t.Column(column)
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown column %s.%s.%s", schema, table, column)
+	}
+	return b, nil
+}
+
+// TableNames returns the sorted list of "schema.table" keys, for catalogs
+// dumps and the server's metadata command.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for k := range c.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,570 @@
+package storage
+
+import "fmt"
+
+// Val is a scalar comparison operand for selections, typed by Kind.
+type Val struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// IntVal, FltVal, StrVal and BoolVal construct comparison operands.
+func IntVal(v int64) Val   { return Val{Kind: Int, I: v} }
+func FltVal(v float64) Val { return Val{Kind: Flt, F: v} }
+func StrVal(v string) Val  { return Val{Kind: Str, S: v} }
+func BoolVal(v bool) Val   { return Val{Kind: Bool, B: v} }
+func DateVal(d int64) Val  { return Val{Kind: Date, I: d} }
+func OIDVal(o int64) Val   { return Val{Kind: OID, I: o} }
+func (v Val) String() string {
+	switch v.Kind {
+	case Flt:
+		return fmt.Sprintf("%g", v.F)
+	case Str:
+		return fmt.Sprintf("%q", v.S)
+	case Bool:
+		return fmt.Sprintf("%v", v.B)
+	default:
+		return fmt.Sprintf("%d", v.I)
+	}
+}
+
+// CmpOp is a comparison operator for theta-selections.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// cmp compares row i of b against v: -1, 0 or +1. Kinds must be
+// compatible (checked by callers); numeric comparisons promote integer
+// operands to float when either side is Flt.
+func (b *BAT) cmp(i int, v Val) int {
+	switch b.kind {
+	case Flt:
+		f := v.F
+		if v.Kind.usesInts() {
+			f = float64(v.I)
+		}
+		switch x := b.flts[i]; {
+		case x < f:
+			return -1
+		case x > f:
+			return 1
+		}
+		return 0
+	case Str:
+		switch x := b.strs[i]; {
+		case x < v.S:
+			return -1
+		case x > v.S:
+			return 1
+		}
+		return 0
+	case Bool:
+		x, y := b.bools[i], v.B
+		switch {
+		case !x && y:
+			return -1
+		case x && !y:
+			return 1
+		}
+		return 0
+	default:
+		if v.Kind == Flt {
+			switch x := float64(b.ints[i]); {
+			case x < v.F:
+				return -1
+			case x > v.F:
+				return 1
+			}
+			return 0
+		}
+		switch x := b.ints[i]; {
+		case x < v.I:
+			return -1
+		case x > v.I:
+			return 1
+		}
+		return 0
+	}
+}
+
+func compatible(k Kind, v Val) bool {
+	if k == v.Kind {
+		return true
+	}
+	// Numeric kinds (integer family and Flt) are mutually comparable;
+	// integer operands promote to float against Flt columns.
+	numK := k == Flt || k.usesInts()
+	numV := v.Kind == Flt || v.Kind.usesInts()
+	return numK && numV
+}
+
+// ThetaSelect scans b (restricted to the candidate oids in cands when
+// non-nil) and returns the oids of rows satisfying "row op v". This is
+// MAL's algebra.thetaselect.
+func ThetaSelect(b *BAT, op CmpOp, v Val, cands *BAT) (*BAT, error) {
+	if !compatible(b.kind, v) {
+		return nil, fmt.Errorf("storage: thetaselect %s against %s operand", b.kind, v.Kind)
+	}
+	out := New(OID, 0)
+	test := func(c int) bool {
+		switch op {
+		case EQ:
+			return c == 0
+		case NE:
+			return c != 0
+		case LT:
+			return c < 0
+		case LE:
+			return c <= 0
+		case GT:
+			return c > 0
+		default:
+			return c >= 0
+		}
+	}
+	if cands == nil {
+		for i, n := 0, b.Len(); i < n; i++ {
+			if test(b.cmp(i, v)) {
+				out.AppendInt(int64(i))
+			}
+		}
+		return out, nil
+	}
+	if cands.kind != OID {
+		return nil, fmt.Errorf("storage: candidate list has kind %s, want oid", cands.kind)
+	}
+	for _, oid := range cands.ints {
+		if oid < 0 || int(oid) >= b.Len() {
+			return nil, fmt.Errorf("storage: candidate oid %d out of range 0..%d", oid, b.Len()-1)
+		}
+		if test(b.cmp(int(oid), v)) {
+			out.AppendInt(oid)
+		}
+	}
+	return out, nil
+}
+
+// RangeSelect returns oids of rows with lo <= row <= hi (bound inclusivity
+// controlled by loInc/hiInc), restricted to cands when non-nil. This is
+// MAL's algebra.select(b, lo, hi).
+func RangeSelect(b *BAT, lo, hi Val, loInc, hiInc bool, cands *BAT) (*BAT, error) {
+	if !compatible(b.kind, lo) || !compatible(b.kind, hi) {
+		return nil, fmt.Errorf("storage: select bounds %s/%s against %s column", lo.Kind, hi.Kind, b.kind)
+	}
+	out := New(OID, 0)
+	ok := func(i int) bool {
+		cl := b.cmp(i, lo)
+		if cl < 0 || (cl == 0 && !loInc) {
+			return false
+		}
+		ch := b.cmp(i, hi)
+		if ch > 0 || (ch == 0 && !hiInc) {
+			return false
+		}
+		return true
+	}
+	if cands == nil {
+		for i, n := 0, b.Len(); i < n; i++ {
+			if ok(i) {
+				out.AppendInt(int64(i))
+			}
+		}
+		return out, nil
+	}
+	if cands.kind != OID {
+		return nil, fmt.Errorf("storage: candidate list has kind %s, want oid", cands.kind)
+	}
+	for _, oid := range cands.ints {
+		if oid < 0 || int(oid) >= b.Len() {
+			return nil, fmt.Errorf("storage: candidate oid %d out of range", oid)
+		}
+		if ok(int(oid)) {
+			out.AppendInt(oid)
+		}
+	}
+	return out, nil
+}
+
+// Project gathers tail[oid] for every oid in oids, producing a column
+// aligned with oids. This is MAL's algebra.leftjoin(cands, col) /
+// algebra.projection.
+func Project(oids, tail *BAT) (*BAT, error) {
+	if oids.kind != OID {
+		return nil, fmt.Errorf("storage: project with %s oids", oids.kind)
+	}
+	out := New(tail.kind, len(oids.ints))
+	n := tail.Len()
+	for _, oid := range oids.ints {
+		if oid < 0 || int(oid) >= n {
+			return nil, fmt.Errorf("storage: project oid %d out of range 0..%d", oid, n-1)
+		}
+		i := int(oid)
+		switch {
+		case tail.kind.usesInts():
+			out.AppendInt(tail.ints[i])
+		case tail.kind == Flt:
+			out.AppendFlt(tail.flts[i])
+		case tail.kind == Str:
+			out.AppendStr(tail.strs[i])
+		default:
+			out.AppendBool(tail.bools[i])
+		}
+	}
+	return out, nil
+}
+
+type joinKey struct {
+	i int64
+	f float64
+	s string
+	b bool
+}
+
+func (b *BAT) keyAt(i int) joinKey {
+	switch {
+	case b.kind.usesInts():
+		return joinKey{i: b.ints[i]}
+	case b.kind == Flt:
+		return joinKey{f: b.flts[i]}
+	case b.kind == Str:
+		return joinKey{s: b.strs[i]}
+	default:
+		return joinKey{b: b.bools[i]}
+	}
+}
+
+// HashJoin computes the equi-join of l and r on value equality and returns
+// matching oid pairs (aligned left and right oid BATs). The smaller side
+// is hashed. This is MAL's algebra.join.
+func HashJoin(l, r *BAT) (lOIDs, rOIDs *BAT, err error) {
+	if l.kind != r.kind && !(l.kind.usesInts() && r.kind.usesInts()) {
+		return nil, nil, fmt.Errorf("storage: join %s with %s", l.kind, r.kind)
+	}
+	lo, ro := New(OID, 0), New(OID, 0)
+	// Hash the right side; probe with the left to keep output ordered by
+	// left oid, which downstream projections rely on for stable results.
+	idx := make(map[joinKey][]int64, r.Len())
+	for i, n := 0, r.Len(); i < n; i++ {
+		k := r.keyAt(i)
+		idx[k] = append(idx[k], int64(i))
+	}
+	for i, n := 0, l.Len(); i < n; i++ {
+		for _, ri := range idx[l.keyAt(i)] {
+			lo.AppendInt(int64(i))
+			ro.AppendInt(ri)
+		}
+	}
+	return lo, ro, nil
+}
+
+// Group assigns a dense group id to each row of b, optionally refining an
+// existing grouping (MAL's group.subgroup with a previous groups column).
+// It returns the per-row group ids, the extents (the oid of the first row
+// of each group), and the number of groups.
+func Group(b, prev *BAT) (groups, extents *BAT, ngroups int, err error) {
+	n := b.Len()
+	if prev != nil && prev.Len() != n {
+		return nil, nil, 0, fmt.Errorf("storage: group input %d rows, prev grouping %d rows", n, prev.Len())
+	}
+	type gkey struct {
+		prev int64
+		k    joinKey
+	}
+	ids := make(map[gkey]int64, 64)
+	groups = New(OID, n)
+	extents = New(OID, 0)
+	for i := 0; i < n; i++ {
+		var pk int64
+		if prev != nil {
+			pk = prev.ints[i]
+		}
+		key := gkey{prev: pk, k: b.keyAt(i)}
+		id, ok := ids[key]
+		if !ok {
+			id = int64(len(ids))
+			ids[key] = id
+			extents.AppendInt(int64(i))
+		}
+		groups.AppendInt(id)
+	}
+	return groups, extents, len(ids), nil
+}
+
+// AggrKind selects an aggregate function.
+type AggrKind int
+
+// Aggregates supported by Aggr.
+const (
+	AggrSum AggrKind = iota
+	AggrCount
+	AggrMin
+	AggrMax
+	AggrAvg
+)
+
+// String returns the SQL spelling.
+func (a AggrKind) String() string {
+	switch a {
+	case AggrSum:
+		return "sum"
+	case AggrCount:
+		return "count"
+	case AggrMin:
+		return "min"
+	case AggrMax:
+		return "max"
+	case AggrAvg:
+		return "avg"
+	}
+	return "?"
+}
+
+// Aggr computes a grouped aggregate of b under the per-row group ids in
+// groups (ngroups distinct ids, dense from 0). Sum/avg over integer
+// columns yield Int/Flt respectively; count always yields Int. Min/max
+// preserve the input kind. A nil groups computes a single global group.
+func Aggr(kind AggrKind, b, groups *BAT, ngroups int) (*BAT, error) {
+	n := b.Len()
+	if groups == nil {
+		g := New(OID, n)
+		for i := 0; i < n; i++ {
+			g.AppendInt(0)
+		}
+		groups = g
+		ngroups = 1
+	}
+	if groups.Len() != n {
+		return nil, fmt.Errorf("storage: aggr over %d rows with %d group ids", n, groups.Len())
+	}
+	if kind == AggrCount {
+		counts := make([]int64, ngroups)
+		for _, g := range groups.ints {
+			counts[g]++
+		}
+		return FromInts(Int, counts), nil
+	}
+	switch b.kind {
+	case Flt:
+		sums := make([]float64, ngroups)
+		mins := make([]float64, ngroups)
+		maxs := make([]float64, ngroups)
+		counts := make([]int64, ngroups)
+		seen := make([]bool, ngroups)
+		for i := 0; i < n; i++ {
+			g := groups.ints[i]
+			v := b.flts[i]
+			sums[g] += v
+			counts[g]++
+			if !seen[g] || v < mins[g] {
+				mins[g] = v
+			}
+			if !seen[g] || v > maxs[g] {
+				maxs[g] = v
+			}
+			seen[g] = true
+		}
+		switch kind {
+		case AggrSum:
+			return FromFloats(sums), nil
+		case AggrMin:
+			return FromFloats(mins), nil
+		case AggrMax:
+			return FromFloats(maxs), nil
+		case AggrAvg:
+			avgs := make([]float64, ngroups)
+			for g := range avgs {
+				if counts[g] > 0 {
+					avgs[g] = sums[g] / float64(counts[g])
+				}
+			}
+			return FromFloats(avgs), nil
+		}
+	case Str:
+		if kind != AggrMin && kind != AggrMax {
+			return nil, fmt.Errorf("storage: %s over string column", kind)
+		}
+		vals := make([]string, ngroups)
+		seen := make([]bool, ngroups)
+		for i := 0; i < n; i++ {
+			g := groups.ints[i]
+			v := b.strs[i]
+			if !seen[g] || (kind == AggrMin && v < vals[g]) || (kind == AggrMax && v > vals[g]) {
+				vals[g] = v
+			}
+			seen[g] = true
+		}
+		return FromStrings(vals), nil
+	case Bool:
+		return nil, fmt.Errorf("storage: %s over bool column", kind)
+	default: // integer family
+		sums := make([]int64, ngroups)
+		mins := make([]int64, ngroups)
+		maxs := make([]int64, ngroups)
+		counts := make([]int64, ngroups)
+		seen := make([]bool, ngroups)
+		for i := 0; i < n; i++ {
+			g := groups.ints[i]
+			v := b.ints[i]
+			sums[g] += v
+			counts[g]++
+			if !seen[g] || v < mins[g] {
+				mins[g] = v
+			}
+			if !seen[g] || v > maxs[g] {
+				maxs[g] = v
+			}
+			seen[g] = true
+		}
+		switch kind {
+		case AggrSum:
+			return FromInts(Int, sums), nil
+		case AggrMin:
+			return FromInts(b.kind, mins), nil
+		case AggrMax:
+			return FromInts(b.kind, maxs), nil
+		case AggrAvg:
+			avgs := make([]float64, ngroups)
+			for g := range avgs {
+				if counts[g] > 0 {
+					avgs[g] = float64(sums[g]) / float64(counts[g])
+				}
+			}
+			return FromFloats(avgs), nil
+		}
+	}
+	return nil, fmt.Errorf("storage: unsupported aggregate %s over %s", kind, b.kind)
+}
+
+// SortOrder returns the permutation of b's oids that orders the column
+// ascending (or descending). The sort is stable so multi-key ordering can
+// be built by sorting from the least significant key to the most
+// significant one, threading the permutation through Project.
+func SortOrder(b *BAT, asc bool) *BAT {
+	n := b.Len()
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	less := func(x, y int64) bool {
+		var c int
+		switch b.kind {
+		case Flt:
+			switch {
+			case b.flts[x] < b.flts[y]:
+				c = -1
+			case b.flts[x] > b.flts[y]:
+				c = 1
+			}
+		case Str:
+			switch {
+			case b.strs[x] < b.strs[y]:
+				c = -1
+			case b.strs[x] > b.strs[y]:
+				c = 1
+			}
+		case Bool:
+			switch {
+			case !b.bools[x] && b.bools[y]:
+				c = -1
+			case b.bools[x] && !b.bools[y]:
+				c = 1
+			}
+		default:
+			switch {
+			case b.ints[x] < b.ints[y]:
+				c = -1
+			case b.ints[x] > b.ints[y]:
+				c = 1
+			}
+		}
+		if asc {
+			return c < 0
+		}
+		return c > 0
+	}
+	stableSortInt64(perm, less)
+	return FromInts(OID, perm)
+}
+
+// stableSortInt64 is a merge sort over int64 with a custom strict-weak
+// ordering; stability is required for multi-key sorts.
+func stableSortInt64(a []int64, less func(x, y int64) bool) {
+	if len(a) < 2 {
+		return
+	}
+	buf := make([]int64, len(a))
+	mergeSortInt64(a, buf, less)
+}
+
+func mergeSortInt64(a, buf []int64, less func(x, y int64) bool) {
+	n := len(a)
+	if n < 16 {
+		// Insertion sort for small runs.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && less(a[j], a[j-1]); j-- {
+				a[j-1], a[j] = a[j], a[j-1]
+			}
+		}
+		return
+	}
+	mid := n / 2
+	mergeSortInt64(a[:mid], buf[:mid], less)
+	mergeSortInt64(a[mid:], buf[mid:], less)
+	copy(buf, a[:mid])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if less(a[j], buf[i]) {
+			a[k] = a[j]
+			j++
+		} else {
+			a[k] = buf[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		a[k] = buf[i]
+		i++
+		k++
+	}
+}
+
+// MirrorOIDs returns the dense oid sequence 0..n-1, MAL's bat.mirror: the
+// full candidate list over a column of n rows.
+func MirrorOIDs(n int) *BAT {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(i)
+	}
+	return FromInts(OID, v)
+}

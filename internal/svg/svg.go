@@ -1,0 +1,244 @@
+// Package svg implements the SVG stage of Stethoscope's workflow. The
+// paper (§4): "As a first step the dot file gets parsed and an
+// intermediate scalar vector graphics (svg) representation gets created.
+// In the next step, the svg file gets parsed and an in memory graph
+// structure gets created." Render produces the intermediate SVG from a
+// laid-out graph (with per-node fill colors for execution-state display),
+// and Parse reads that SVG subset back into an in-memory form the zvtm
+// glyph builder consumes.
+package svg
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"stethoscope/internal/dot"
+	"stethoscope/internal/layout"
+)
+
+// Style selects rendering colors.
+type Style struct {
+	Background string
+	NodeFill   string // default fill when no per-node color is given
+	NodeStroke string
+	EdgeStroke string
+	TextColor  string
+	FontSize   float64
+}
+
+// DefaultStyle matches a plain dot rendering.
+func DefaultStyle() Style {
+	return Style{
+		Background: "#ffffff",
+		NodeFill:   "#f2f2f2",
+		NodeStroke: "#333333",
+		EdgeStroke: "#888888",
+		TextColor:  "#111111",
+		FontSize:   11,
+	}
+}
+
+// Render writes the laid-out graph as SVG. fills optionally overrides the
+// fill color per node ID — Stethoscope's RED/GREEN execution states.
+func Render(w io.Writer, g *dot.Graph, lay *layout.Layout, fills map[string]string, style Style) error {
+	if style.FontSize == 0 {
+		style = DefaultStyle()
+	}
+	pad := 8.0
+	width := lay.Width + 2*pad
+	height := lay.Height + 2*pad
+	if width < 1 {
+		width = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="%s"/>`+"\n", width, height, style.Background)
+
+	// Edges first so nodes draw on top.
+	fmt.Fprintf(w, `<g class="edges" stroke="%s">`+"\n", style.EdgeStroke)
+	for _, e := range g.Edges {
+		f, okF := lay.Positions[e.From]
+		t, okT := lay.Positions[e.To]
+		if !okF || !okT {
+			return fmt.Errorf("svg: edge endpoint not laid out: %s -> %s", e.From, e.To)
+		}
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+			f.CenterX()+pad, f.Y+f.H+pad, t.CenterX()+pad, t.Y+pad)
+	}
+	fmt.Fprintln(w, "</g>")
+
+	fmt.Fprintln(w, `<g class="nodes">`)
+	// Deterministic order.
+	nodes := append([]*dot.Node(nil), g.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		r, ok := lay.Positions[n.ID]
+		if !ok {
+			return fmt.Errorf("svg: node %s not laid out", n.ID)
+		}
+		fill := style.NodeFill
+		if f, ok := fills[n.ID]; ok && f != "" {
+			fill = f
+		}
+		fmt.Fprintf(w, `<g id="%s" class="node">`+"\n", xmlEscape(n.ID))
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s"/>`+"\n",
+			r.X+pad, r.Y+pad, r.W, r.H, fill, style.NodeStroke)
+		label := n.Label()
+		if label == "" {
+			label = n.ID
+		}
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="%.0f" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			r.CenterX()+pad, r.CenterY()+pad+style.FontSize/3, style.FontSize, style.TextColor,
+			xmlEscape(truncateLabel(label, r.W, style.FontSize)))
+		fmt.Fprintln(w, "</g>")
+	}
+	fmt.Fprintln(w, "</g>")
+	fmt.Fprintln(w, "</svg>")
+	return nil
+}
+
+// RenderString is Render into a string.
+func RenderString(g *dot.Graph, lay *layout.Layout, fills map[string]string, style Style) (string, error) {
+	var b strings.Builder
+	if err := Render(&b, g, lay, fills, style); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// truncateLabel shortens a label to roughly fit its box.
+func truncateLabel(s string, w, fontSize float64) string {
+	maxChars := int(w / (fontSize * 0.62))
+	if maxChars < 4 {
+		maxChars = 4
+	}
+	if len(s) <= maxChars {
+		return s
+	}
+	return s[:maxChars-1] + "…"
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+// Doc is the parsed form of a rendered SVG: the in-memory structure the
+// glyph builder consumes.
+type Doc struct {
+	Width  float64
+	Height float64
+	Nodes  map[string]*NodeBox
+	Edges  []Line
+}
+
+// NodeBox is a parsed node group: its rectangle, fill and label text.
+type NodeBox struct {
+	ID    string
+	X, Y  float64
+	W, H  float64
+	Fill  string
+	Label string
+}
+
+// Line is a parsed edge segment.
+type Line struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// Parse reads SVG produced by Render back into a Doc.
+func Parse(r io.Reader) (*Doc, error) {
+	dec := xml.NewDecoder(r)
+	doc := &Doc{Nodes: map[string]*NodeBox{}}
+	var current *NodeBox
+	depthInNode := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("svg: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			attrs := attrMap(t.Attr)
+			switch t.Name.Local {
+			case "svg":
+				doc.Width = num(attrs["width"])
+				doc.Height = num(attrs["height"])
+			case "g":
+				if attrs["class"] == "node" {
+					current = &NodeBox{ID: attrs["id"]}
+					depthInNode = 1
+				} else if current != nil {
+					depthInNode++
+				}
+			case "rect":
+				if current != nil {
+					current.X = num(attrs["x"])
+					current.Y = num(attrs["y"])
+					current.W = num(attrs["width"])
+					current.H = num(attrs["height"])
+					current.Fill = attrs["fill"]
+				}
+			case "line":
+				doc.Edges = append(doc.Edges, Line{
+					X1: num(attrs["x1"]), Y1: num(attrs["y1"]),
+					X2: num(attrs["x2"]), Y2: num(attrs["y2"]),
+				})
+			case "text":
+				if current != nil {
+					var label strings.Builder
+					for {
+						inner, err := dec.Token()
+						if err != nil {
+							return nil, fmt.Errorf("svg: %w", err)
+						}
+						if cd, ok := inner.(xml.CharData); ok {
+							label.Write(cd)
+							continue
+						}
+						if end, ok := inner.(xml.EndElement); ok && end.Name.Local == "text" {
+							break
+						}
+					}
+					current.Label = label.String()
+				}
+			}
+		case xml.EndElement:
+			if t.Name.Local == "g" && current != nil {
+				depthInNode--
+				if depthInNode == 0 {
+					doc.Nodes[current.ID] = current
+					current = nil
+				}
+			}
+		}
+	}
+	return doc, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Doc, error) { return Parse(strings.NewReader(s)) }
+
+func attrMap(attrs []xml.Attr) map[string]string {
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Name.Local] = a.Value
+	}
+	return m
+}
+
+func num(s string) float64 {
+	var f float64
+	fmt.Sscanf(s, "%f", &f)
+	return f
+}

@@ -1,0 +1,153 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+
+	"stethoscope/internal/dot"
+	"stethoscope/internal/layout"
+)
+
+func renderSample(t testing.TB, fills map[string]string) (string, *dot.Graph, *layout.Layout) {
+	t.Helper()
+	g := dot.NewGraph("sample")
+	g.AddNode("n0", map[string]string{"label": "X_0 := sql.bind();"})
+	g.AddNode("n1", map[string]string{"label": "X_1 := algebra.select(X_0);"})
+	g.AddEdge("n0", "n1", nil)
+	lay, err := layout.Compute(g, layout.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderString(g, lay, fills, DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, g, lay
+}
+
+func TestRenderContainsNodesAndEdges(t *testing.T) {
+	out, _, _ := renderSample(t, nil)
+	for _, want := range []string{`id="n0"`, `id="n1"`, "<line", "<rect", "<text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if !strings.HasPrefix(out, "<svg") {
+		t.Error("not an svg document")
+	}
+}
+
+func TestRenderFillOverride(t *testing.T) {
+	out, _, _ := renderSample(t, map[string]string{"n0": "#ff0000"})
+	if !strings.Contains(out, `fill="#ff0000"`) {
+		t.Error("fill override not applied")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	out, g, lay := renderSample(t, map[string]string{"n1": "#00ff00"})
+	doc, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes) != len(g.Nodes) {
+		t.Fatalf("parsed %d nodes, want %d", len(doc.Nodes), len(g.Nodes))
+	}
+	if len(doc.Edges) != len(g.Edges) {
+		t.Fatalf("parsed %d edges, want %d", len(doc.Edges), len(g.Edges))
+	}
+	n1 := doc.Nodes["n1"]
+	if n1 == nil {
+		t.Fatal("n1 missing")
+	}
+	if n1.Fill != "#00ff00" {
+		t.Errorf("n1 fill = %q", n1.Fill)
+	}
+	// Geometry survives within the 8px padding offset.
+	want := lay.Positions["n1"]
+	if n1.W != want.W || n1.H != want.H {
+		t.Errorf("n1 box = %gx%g, want %gx%g", n1.W, n1.H, want.W, want.H)
+	}
+	if n1.X != want.X+8 || n1.Y != want.Y+8 {
+		t.Errorf("n1 at (%g,%g), want (%g,%g)", n1.X, n1.Y, want.X+8, want.Y+8)
+	}
+	if n1.Label == "" {
+		t.Error("n1 label lost")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	g := dot.NewGraph("esc")
+	g.AddNode("n0", map[string]string{"label": `a < b & "c"`})
+	lay, err := layout.Compute(g, layout.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderString(g, lay, nil, DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("escaped svg unparseable: %v", err)
+	}
+	if !strings.Contains(doc.Nodes["n0"].Label, "<") {
+		t.Errorf("label = %q", doc.Nodes["n0"].Label)
+	}
+}
+
+func TestTruncateLongLabels(t *testing.T) {
+	g := dot.NewGraph("long")
+	long := strings.Repeat("abcdefgh", 50)
+	g.AddNode("n0", map[string]string{"label": long})
+	lay, err := layout.Compute(g, layout.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderString(g, lay, nil, DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes["n0"].Label) >= len(long) {
+		t.Error("long label not truncated")
+	}
+	if !strings.HasSuffix(doc.Nodes["n0"].Label, "…") {
+		t.Errorf("truncation marker missing: %q", doc.Nodes["n0"].Label)
+	}
+}
+
+func TestRenderErrorOnMissingLayout(t *testing.T) {
+	g := dot.NewGraph("bad")
+	g.AddNode("n0", nil)
+	empty := &layout.Layout{Positions: map[string]layout.Rect{}}
+	var b strings.Builder
+	if err := Render(&b, g, empty, nil, DefaultStyle()); err == nil {
+		t.Error("missing layout accepted")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseString("<svg><unclosed"); err == nil {
+		t.Error("malformed xml accepted")
+	}
+}
+
+func TestEmptyGraphRenders(t *testing.T) {
+	g := dot.NewGraph("empty")
+	lay, _ := layout.Compute(g, layout.DefaultOptions())
+	out, err := RenderString(g, lay, nil, DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes) != 0 || len(doc.Edges) != 0 {
+		t.Error("phantom content in empty render")
+	}
+}

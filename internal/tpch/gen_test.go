@@ -1,0 +1,203 @@
+package tpch
+
+import (
+	"testing"
+
+	"stethoscope/internal/storage"
+)
+
+func loadSmall(t testing.TB) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	if err := Load(cat, Config{SF: 0.001, Seed: 7}); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return cat
+}
+
+func TestLoadDefinesAllTables(t *testing.T) {
+	cat := loadSmall(t)
+	want := []string{"sys.customer", "sys.lineitem", "sys.nation", "sys.orders",
+		"sys.part", "sys.partsupp", "sys.region", "sys.supplier"}
+	got := cat.TableNames()
+	if len(got) != len(want) {
+		t.Fatalf("tables = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("table[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFixedCardinalities(t *testing.T) {
+	cat := loadSmall(t)
+	region, _ := cat.Table("sys", "region")
+	if region.Rows() != 5 {
+		t.Errorf("region rows = %d", region.Rows())
+	}
+	nation, _ := cat.Table("sys", "nation")
+	if nation.Rows() != 25 {
+		t.Errorf("nation rows = %d", nation.Rows())
+	}
+}
+
+func TestScaledCardinalities(t *testing.T) {
+	cat := loadSmall(t)
+	orders, _ := cat.Table("sys", "orders")
+	if got, want := orders.Rows(), Rows("orders", 0.001); got != want {
+		t.Errorf("orders rows = %d, want %d", got, want)
+	}
+	li, _ := cat.Table("sys", "lineitem")
+	// 1..7 lines per order.
+	if li.Rows() < orders.Rows() || li.Rows() > orders.Rows()*7 {
+		t.Errorf("lineitem rows = %d outside [%d, %d]", li.Rows(), orders.Rows(), orders.Rows()*7)
+	}
+	ps, _ := cat.Table("sys", "partsupp")
+	part, _ := cat.Table("sys", "part")
+	if ps.Rows() != part.Rows()*4 {
+		t.Errorf("partsupp rows = %d, want 4x part %d", ps.Rows(), part.Rows())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := storage.NewCatalog()
+	b := storage.NewCatalog()
+	cfg := Config{SF: 0.001, Seed: 99}
+	if err := Load(a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := a.Bind("sys", "lineitem", "l_extendedprice")
+	bb, _ := b.Bind("sys", "lineitem", "l_extendedprice")
+	if ba.Len() != bb.Len() {
+		t.Fatalf("lengths differ: %d vs %d", ba.Len(), bb.Len())
+	}
+	for i := 0; i < ba.Len(); i++ {
+		if ba.FltAt(i) != bb.FltAt(i) {
+			t.Fatalf("row %d differs: %g vs %g", i, ba.FltAt(i), bb.FltAt(i))
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	a := storage.NewCatalog()
+	b := storage.NewCatalog()
+	if err := Load(a, Config{SF: 0.001, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(b, Config{SF: 0.001, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := a.Bind("sys", "lineitem", "l_partkey")
+	bb, _ := b.Bind("sys", "lineitem", "l_partkey")
+	same := ba.Len() == bb.Len()
+	if same {
+		n := ba.Len()
+		diff := false
+		for i := 0; i < n; i++ {
+			if ba.IntAt(i) != bb.IntAt(i) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical l_partkey column")
+		}
+	}
+}
+
+func TestForeignKeysInRange(t *testing.T) {
+	cat := loadSmall(t)
+	sf := 0.001
+	nPart := int64(Rows("part", sf))
+	nSupp := int64(Rows("supplier", sf))
+	nCust := int64(Rows("customer", sf))
+	nOrders := int64(Rows("orders", sf))
+
+	lp, _ := cat.Bind("sys", "lineitem", "l_partkey")
+	for _, v := range lp.Ints() {
+		if v < 1 || v > nPart {
+			t.Fatalf("l_partkey %d out of [1,%d]", v, nPart)
+		}
+	}
+	ls, _ := cat.Bind("sys", "lineitem", "l_suppkey")
+	for _, v := range ls.Ints() {
+		if v < 1 || v > nSupp {
+			t.Fatalf("l_suppkey %d out of [1,%d]", v, nSupp)
+		}
+	}
+	lo, _ := cat.Bind("sys", "lineitem", "l_orderkey")
+	for _, v := range lo.Ints() {
+		if v < 1 || v > nOrders {
+			t.Fatalf("l_orderkey %d out of [1,%d]", v, nOrders)
+		}
+	}
+	oc, _ := cat.Bind("sys", "orders", "o_custkey")
+	for _, v := range oc.Ints() {
+		if v < 1 || v > nCust {
+			t.Fatalf("o_custkey %d out of [1,%d]", v, nCust)
+		}
+	}
+	nr, _ := cat.Bind("sys", "nation", "n_regionkey")
+	for _, v := range nr.Ints() {
+		if v < 0 || v > 4 {
+			t.Fatalf("n_regionkey %d out of [0,4]", v)
+		}
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	cat := loadSmall(t)
+	disc, _ := cat.Bind("sys", "lineitem", "l_discount")
+	for _, v := range disc.Flts() {
+		if v < 0 || v > 0.10 {
+			t.Fatalf("l_discount %g out of [0, 0.10]", v)
+		}
+	}
+	tax, _ := cat.Bind("sys", "lineitem", "l_tax")
+	for _, v := range tax.Flts() {
+		if v < 0 || v > 0.08 {
+			t.Fatalf("l_tax %g out of [0, 0.08]", v)
+		}
+	}
+	qty, _ := cat.Bind("sys", "lineitem", "l_quantity")
+	for _, v := range qty.Flts() {
+		if v < 1 || v > 50 {
+			t.Fatalf("l_quantity %g out of [1, 50]", v)
+		}
+	}
+	ship, _ := cat.Bind("sys", "lineitem", "l_shipdate")
+	for _, v := range ship.Ints() {
+		if v < dateLo || v > dateHi+1 {
+			t.Fatalf("l_shipdate %d out of range", v)
+		}
+	}
+	rf, _ := cat.Bind("sys", "lineitem", "l_returnflag")
+	for _, v := range rf.Strs() {
+		if v != "R" && v != "A" && v != "N" {
+			t.Fatalf("l_returnflag %q invalid", v)
+		}
+	}
+}
+
+func TestBadScaleFactor(t *testing.T) {
+	cat := storage.NewCatalog()
+	if err := Load(cat, Config{SF: 0}); err == nil {
+		t.Error("SF=0 accepted")
+	}
+	if err := Load(cat, Config{SF: -1}); err == nil {
+		t.Error("SF=-1 accepted")
+	}
+}
+
+func TestRowsUnknownTable(t *testing.T) {
+	if Rows("nosuch", 1) != 0 {
+		t.Error("unknown table should report 0 rows")
+	}
+	if Rows("supplier", 0.000001) != 1 {
+		t.Error("tiny SF should clamp to 1 row")
+	}
+}

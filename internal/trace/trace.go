@@ -1,0 +1,154 @@
+// Package trace implements trace-file handling and the trace ↔ dot-file
+// mapping of paper §3.3: each MAL instruction appears in the trace as a
+// "start" and a "done" event; the pc field maps to dot node "nN" and the
+// stmt field maps to the node's label. The Store indexes a parsed trace
+// by its "event" attribute (sequence number) and by pc, the two access
+// paths Stethoscope's replay and coloring use.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"stethoscope/internal/dot"
+	"stethoscope/internal/profiler"
+)
+
+// Store holds an ordered trace with per-pc indexes.
+type Store struct {
+	events []profiler.Event
+	byPC   map[int][]int // indexes into events
+}
+
+// FromEvents builds a store from in-memory events (online mode's buffer).
+func FromEvents(events []profiler.Event) *Store {
+	s := &Store{events: append([]profiler.Event(nil), events...), byPC: map[int][]int{}}
+	for i, e := range s.events {
+		s.byPC[e.PC] = append(s.byPC[e.PC], i)
+	}
+	return s
+}
+
+// Load parses a trace file: one marshaled event per line, blank lines and
+// '#' comments skipped.
+func Load(r io.Reader) (*Store, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []profiler.Event
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := profiler.UnmarshalEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineno, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return FromEvents(events), nil
+}
+
+// LoadString is Load over a string.
+func LoadString(s string) (*Store, error) { return Load(strings.NewReader(s)) }
+
+// Len returns the event count.
+func (s *Store) Len() int { return len(s.events) }
+
+// Events returns the trace in order.
+func (s *Store) Events() []profiler.Event { return s.events }
+
+// At returns event i.
+func (s *Store) At(i int) profiler.Event { return s.events[i] }
+
+// ByPC returns the events of one instruction, in trace order.
+func (s *Store) ByPC(pc int) []profiler.Event {
+	idxs := s.byPC[pc]
+	out := make([]profiler.Event, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.events[idx]
+	}
+	return out
+}
+
+// PCs returns the distinct program counters present, unordered.
+func (s *Store) PCs() []int {
+	out := make([]int, 0, len(s.byPC))
+	for pc := range s.byPC {
+		out = append(out, pc)
+	}
+	return out
+}
+
+// DurationUs returns the summed execution time of an instruction across
+// its done events (partitioned plans execute a pc once; the sum is
+// defensive for replayed traces).
+func (s *Store) DurationUs(pc int) int64 {
+	var total int64
+	for _, i := range s.byPC[pc] {
+		if s.events[i].State == profiler.StateDone {
+			total += s.events[i].DurUs
+		}
+	}
+	return total
+}
+
+// Mapping links a trace to a dot graph per §3.3.
+type Mapping struct {
+	// NodeOf maps pc to the dot node ID ("nN").
+	NodeOf map[int]string
+	// Unmatched lists pcs present in the trace with no graph node — a
+	// stale dot file or truncated plan.
+	Unmatched []int
+	// LabelMismatches lists pcs whose trace stmt differs from the node
+	// label (both non-empty).
+	LabelMismatches []int
+}
+
+// MapToGraph resolves every traced pc against the graph.
+func MapToGraph(s *Store, g *dot.Graph) Mapping {
+	m := Mapping{NodeOf: map[int]string{}}
+	for pc := range s.byPC {
+		id := dot.NodeID(pc)
+		node, ok := g.Node(id)
+		if !ok {
+			m.Unmatched = append(m.Unmatched, pc)
+			continue
+		}
+		m.NodeOf[pc] = id
+		stmt := ""
+		for _, i := range s.byPC[pc] {
+			if s.events[i].Stmt != "" {
+				stmt = s.events[i].Stmt
+				break
+			}
+		}
+		if stmt != "" && node.Label() != "" && stmt != node.Label() {
+			m.LabelMismatches = append(m.LabelMismatches, pc)
+		}
+	}
+	sortInts(m.Unmatched)
+	sortInts(m.LabelMismatches)
+	return m
+}
+
+// Complete reports whether every traced pc mapped to a node with a
+// matching label.
+func (m Mapping) Complete() bool {
+	return len(m.Unmatched) == 0 && len(m.LabelMismatches) == 0
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

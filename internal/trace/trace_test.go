@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"stethoscope/internal/dot"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/profiler"
+)
+
+func sampleEvents() []profiler.Event {
+	return []profiler.Event{
+		{Seq: 0, State: profiler.StateStart, PC: 0, Stmt: "a"},
+		{Seq: 1, State: profiler.StateDone, PC: 0, DurUs: 100, Stmt: "a"},
+		{Seq: 2, State: profiler.StateStart, PC: 1, Stmt: "b"},
+		{Seq: 3, State: profiler.StateDone, PC: 1, DurUs: 300, Stmt: "b"},
+		{Seq: 4, State: profiler.StateStart, PC: 2, Stmt: "c"},
+	}
+}
+
+func TestStoreIndexes(t *testing.T) {
+	s := FromEvents(sampleEvents())
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.ByPC(1); len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Errorf("ByPC(1) = %v", got)
+	}
+	if got := s.ByPC(99); len(got) != 0 {
+		t.Errorf("ByPC(99) = %v", got)
+	}
+	if len(s.PCs()) != 3 {
+		t.Errorf("PCs = %v", s.PCs())
+	}
+	if s.DurationUs(1) != 300 {
+		t.Errorf("DurationUs(1) = %d", s.DurationUs(1))
+	}
+	if s.DurationUs(2) != 0 {
+		t.Errorf("DurationUs(2) = %d (start only)", s.DurationUs(2))
+	}
+}
+
+func TestLoadTraceFile(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# trace header comment\n\n")
+	for _, e := range sampleEvents() {
+		b.WriteString(e.Marshal())
+		b.WriteByte('\n')
+	}
+	s, err := LoadString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.At(4).PC != 2 {
+		t.Errorf("At(4) = %+v", s.At(4))
+	}
+}
+
+func TestLoadRejectsBadLines(t *testing.T) {
+	if _, err := LoadString("not a trace line\n"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMappingMatchesPaperConvention(t *testing.T) {
+	// Build a plan, export dot, generate a trace with matching stmts.
+	p := mal.NewPlan("q")
+	col := p.Emit1("sql", "bind", mal.TBATInt, mal.ConstOf(mal.Str("sys")), mal.ConstOf(mal.Str("t")), mal.ConstOf(mal.Str("c")), mal.ConstOf(mal.Int64(0)))
+	p.Emit1("algebra", "thetaselect", mal.TBATOID, mal.VarArg(col), mal.ConstOf(mal.Str("=")), mal.ConstOf(mal.Int64(1)))
+	g := dot.Export(p)
+	var events []profiler.Event
+	for _, in := range p.Instrs {
+		stmt := p.StmtString(in)
+		events = append(events,
+			profiler.Event{Seq: int64(2 * in.PC), State: profiler.StateStart, PC: in.PC, Stmt: stmt},
+			profiler.Event{Seq: int64(2*in.PC + 1), State: profiler.StateDone, PC: in.PC, Stmt: stmt})
+	}
+	s := FromEvents(events)
+	m := MapToGraph(s, g)
+	if !m.Complete() {
+		t.Fatalf("mapping incomplete: %+v", m)
+	}
+	if m.NodeOf[0] != "n0" || m.NodeOf[1] != "n1" {
+		t.Errorf("NodeOf = %v", m.NodeOf)
+	}
+}
+
+func TestMappingDetectsUnmatchedAndMismatched(t *testing.T) {
+	g := dot.NewGraph("g")
+	g.AddNode("n0", map[string]string{"label": "real stmt"})
+	s := FromEvents([]profiler.Event{
+		{Seq: 0, State: profiler.StateStart, PC: 0, Stmt: "different stmt"},
+		{Seq: 1, State: profiler.StateStart, PC: 7, Stmt: "x"},
+	})
+	m := MapToGraph(s, g)
+	if m.Complete() {
+		t.Fatal("mapping reported complete")
+	}
+	if len(m.Unmatched) != 1 || m.Unmatched[0] != 7 {
+		t.Errorf("Unmatched = %v", m.Unmatched)
+	}
+	if len(m.LabelMismatches) != 1 || m.LabelMismatches[0] != 0 {
+		t.Errorf("LabelMismatches = %v", m.LabelMismatches)
+	}
+}
+
+func TestRoundTripThroughFile(t *testing.T) {
+	var b strings.Builder
+	sink := profiler.NewWriterSink(&b)
+	for _, e := range sampleEvents() {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range sampleEvents() {
+		if s.At(i) != want {
+			t.Errorf("event %d: %+v != %+v", i, s.At(i), want)
+		}
+	}
+}

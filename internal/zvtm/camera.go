@@ -1,0 +1,180 @@
+package zvtm
+
+import (
+	"math"
+)
+
+// focal is the ZVTM camera focal constant: zoom = focal / (focal + alt).
+const focal = 100.0
+
+// Camera observes a virtual space from (CX, CY) at altitude Alt. ZVTM
+// semantics: altitude 0 is 1:1; higher altitudes zoom out. "A camera
+// object ... shows different views at different zoom levels, in a virtual
+// space" (paper §3.1).
+type Camera struct {
+	CX, CY float64
+	Alt    float64
+}
+
+// Zoom returns the current magnification factor.
+func (c *Camera) Zoom() float64 { return focal / (focal + c.Alt) }
+
+// Project maps a world point to viewport coordinates for a viewport of
+// the given size centered on the camera.
+func (c *Camera) Project(wx, wy, viewW, viewH float64) (sx, sy float64) {
+	z := c.Zoom()
+	return (wx-c.CX)*z + viewW/2, (wy-c.CY)*z + viewH/2
+}
+
+// Unproject maps viewport coordinates back to world coordinates.
+func (c *Camera) Unproject(sx, sy, viewW, viewH float64) (wx, wy float64) {
+	z := c.Zoom()
+	return (sx-viewW/2)/z + c.CX, (sy-viewH/2)/z + c.CY
+}
+
+// VisibleBounds returns the world rectangle visible through a viewport.
+func (c *Camera) VisibleBounds(viewW, viewH float64) (x, y, w, h float64) {
+	z := c.Zoom()
+	w = viewW / z
+	h = viewH / z
+	return c.CX - w/2, c.CY - h/2, w, h
+}
+
+// minAlt bounds magnification: altitude may go negative (zoom > 1, as
+// in ZVTM) but must stay above -focal where the projection degenerates.
+const minAlt = -focal + 1e-6
+
+// ZoomIn lowers the altitude by fraction f of the distance to the
+// degenerate limit, increasing magnification.
+func (c *Camera) ZoomIn(f float64) {
+	c.Alt -= (c.Alt + focal) * f
+	if c.Alt < minAlt {
+		c.Alt = minAlt
+	}
+}
+
+// ZoomOut raises altitude by fraction f of the focal constant, so
+// zooming out from altitude 0 works.
+func (c *Camera) ZoomOut(f float64) {
+	c.Alt += (c.Alt + focal) * f
+}
+
+// CenterOn pans the camera to the world point.
+func (c *Camera) CenterOn(x, y float64) { c.CX, c.CY = x, y }
+
+// CenterOnGlyph pans to a glyph's center and optionally sets the
+// altitude so the glyph fills frac of the viewport width.
+func (c *Camera) CenterOnGlyph(g *Glyph, viewW, frac float64) {
+	c.CenterOn(g.CenterX(), g.CenterY())
+	if frac > 0 && g.W > 0 {
+		// zoom needed: g.W * zoom = viewW * frac.
+		z := viewW * frac / g.W
+		if z > 0 {
+			c.Alt = focal/z - focal
+			if c.Alt < minAlt {
+				c.Alt = minAlt
+			}
+		}
+	}
+}
+
+// FisheyeLens is a graphical fisheye (Sarkar–Brown style): points within
+// Radius of the focus are pushed outward, magnifying the center. ZVTM
+// ships "a set of lenses viz. fish eye lens, etc." (paper §3.1).
+type FisheyeLens struct {
+	FX, FY float64 // focus in world coordinates
+	Radius float64
+	Mag    float64 // magnification at the focus, > 1
+}
+
+// Transform distorts a world point. Points outside the radius are
+// unchanged; the focus itself is a fixpoint; in between, points are
+// displaced outward with magnification falling off linearly.
+func (l *FisheyeLens) Transform(x, y float64) (float64, float64) {
+	dx, dy := x-l.FX, y-l.FY
+	d := math.Hypot(dx, dy)
+	if d >= l.Radius || d == 0 || l.Radius <= 0 {
+		return x, y
+	}
+	// Normalized distance and its magnified image.
+	nd := d / l.Radius
+	m := l.Mag
+	if m < 1 {
+		m = 1
+	}
+	// g(nd) = (m*nd) / ((m-1)*nd + 1): g(0)=0, g(1)=1, slope m at 0.
+	g := (m * nd) / ((m-1)*nd + 1)
+	scale := g / nd
+	return l.FX + dx*scale, l.FY + dy*scale
+}
+
+// Magnification returns the local magnification factor at distance d
+// from the focus (1 outside the radius).
+func (l *FisheyeLens) Magnification(d float64) float64 {
+	if d >= l.Radius || l.Radius <= 0 {
+		return 1
+	}
+	nd := d / l.Radius
+	m := l.Mag
+	if m < 1 {
+		m = 1
+	}
+	den := (m-1)*nd + 1
+	return m / (den * den)
+}
+
+// CameraAnimation interpolates the camera between two poses with
+// smoothstep easing — the "animation effects such as change of zoom
+// level ... and transition time between highlights of nodes" of the demo.
+type CameraAnimation struct {
+	cam              *Camera
+	fromX, fromY     float64
+	fromAlt          float64
+	toX, toY, toAlt  float64
+	durMs, elapsedMs float64
+}
+
+// Animator steps queued animations with an explicit clock, keeping
+// behavior deterministic in tests and headless replays.
+type Animator struct {
+	queue []*CameraAnimation
+}
+
+// AnimateCameraTo queues a camera move to (x, y, alt) over durMs
+// milliseconds. Queued animations run one after another.
+func (a *Animator) AnimateCameraTo(cam *Camera, x, y, alt, durMs float64) {
+	if durMs <= 0 {
+		durMs = 1
+	}
+	a.queue = append(a.queue, &CameraAnimation{
+		cam: cam, toX: x, toY: y, toAlt: alt, durMs: durMs,
+		fromX: math.NaN(), // captured when the animation starts
+	})
+}
+
+// Active reports whether animations remain.
+func (a *Animator) Active() bool { return len(a.queue) > 0 }
+
+// Tick advances the current animation by dtMs milliseconds and reports
+// whether any animation is still active afterwards.
+func (a *Animator) Tick(dtMs float64) bool {
+	if len(a.queue) == 0 {
+		return false
+	}
+	an := a.queue[0]
+	if math.IsNaN(an.fromX) {
+		an.fromX, an.fromY, an.fromAlt = an.cam.CX, an.cam.CY, an.cam.Alt
+	}
+	an.elapsedMs += dtMs
+	t := an.elapsedMs / an.durMs
+	if t >= 1 {
+		an.cam.CX, an.cam.CY, an.cam.Alt = an.toX, an.toY, an.toAlt
+		a.queue = a.queue[1:]
+		return len(a.queue) > 0
+	}
+	s := t * t * (3 - 2*t) // smoothstep
+	an.cam.CX = an.fromX + (an.toX-an.fromX)*s
+	an.cam.CY = an.fromY + (an.toY-an.fromY)*s
+	an.cam.Alt = an.fromAlt + (an.toAlt-an.fromAlt)*s
+	return true
+}

@@ -1,0 +1,128 @@
+package zvtm
+
+import (
+	"sync"
+	"time"
+)
+
+// RenderRequest is one queued node recoloring.
+type RenderRequest struct {
+	NodeID     string
+	Color      string
+	EnqueuedAt time.Time
+}
+
+// Dispatched records when a request was actually rendered.
+type Dispatched struct {
+	RenderRequest
+	DispatchedAt time.Time
+}
+
+// RenderQueue emulates the Java Event Dispatch Thread queuing that the
+// original Stethoscope must work around: "Coloring graph nodes in an
+// online stream is a complex task due to rendering limitations from the
+// Java system. The Stethoscope uses the Java Event Dispatch thread
+// queuing framework for queuing up nodes to render. This introduces a
+// delay of up-to 150ms between rendering of consecutive nodes." (§4.2.1)
+//
+// Requests are applied to the virtual space at most one per Delay
+// interval; coalescing keeps only the newest color per node while it
+// waits. The queue's existence is why the online coloring algorithm must
+// elide short-lived start/done pairs (experiment E6).
+type RenderQueue struct {
+	mu        sync.Mutex
+	vs        *VirtualSpace
+	delay     time.Duration
+	pending   []RenderRequest
+	byNode    map[string]int // pending index per node for coalescing
+	lastFlush time.Time
+	history   []Dispatched
+}
+
+// DefaultDispatchDelay is the paper's 150 ms ceiling.
+const DefaultDispatchDelay = 150 * time.Millisecond
+
+// NewRenderQueue wraps a virtual space. delay <= 0 selects the paper's
+// 150 ms.
+func NewRenderQueue(vs *VirtualSpace, delay time.Duration) *RenderQueue {
+	if delay <= 0 {
+		delay = DefaultDispatchDelay
+	}
+	return &RenderQueue{vs: vs, delay: delay, byNode: map[string]int{}}
+}
+
+// Delay returns the configured per-dispatch latency.
+func (q *RenderQueue) Delay() time.Duration { return q.delay }
+
+// Enqueue schedules a node recoloring at time now. A pending request for
+// the same node is overwritten (the EDT coalesces repaint events).
+func (q *RenderQueue) Enqueue(nodeID, color string, now time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if i, ok := q.byNode[nodeID]; ok {
+		q.pending[i].Color = color
+		q.pending[i].EnqueuedAt = now
+		return
+	}
+	q.byNode[nodeID] = len(q.pending)
+	q.pending = append(q.pending, RenderRequest{NodeID: nodeID, Color: color, EnqueuedAt: now})
+}
+
+// Flush dispatches every request whose turn has come by `now`: one
+// request per delay interval since the previous dispatch. It returns the
+// requests rendered by this call.
+func (q *RenderQueue) Flush(now time.Time) []Dispatched {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []Dispatched
+	for len(q.pending) > 0 {
+		next := q.lastFlush.Add(q.delay)
+		if q.lastFlush.IsZero() {
+			next = q.pending[0].EnqueuedAt
+		}
+		if next.Before(q.pending[0].EnqueuedAt) {
+			next = q.pending[0].EnqueuedAt
+		}
+		if next.After(now) {
+			break
+		}
+		req := q.pending[0]
+		q.pending = q.pending[1:]
+		delete(q.byNode, req.NodeID)
+		for n, i := range q.byNode {
+			q.byNode[n] = i - 1
+		}
+		q.vs.SetNodeColor(req.NodeID, req.Color)
+		d := Dispatched{RenderRequest: req, DispatchedAt: next}
+		q.history = append(q.history, d)
+		out = append(out, d)
+		q.lastFlush = next
+	}
+	return out
+}
+
+// PendingLen reports how many requests wait for dispatch.
+func (q *RenderQueue) PendingLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// History returns all dispatches so far.
+func (q *RenderQueue) History() []Dispatched {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]Dispatched(nil), q.history...)
+}
+
+// InterRenderDelays returns the gaps between consecutive dispatches,
+// the quantity the paper bounds at 150 ms (experiment E6).
+func (q *RenderQueue) InterRenderDelays() []time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []time.Duration
+	for i := 1; i < len(q.history); i++ {
+		out = append(out, q.history[i].DispatchedAt.Sub(q.history[i-1].DispatchedAt))
+	}
+	return out
+}
