@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: verify vet build test bench examples
+
+verify: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/offline-replay
+	$(GO) run ./examples/online-monitor
+	$(GO) run ./examples/multicore-analysis
+	$(GO) run ./examples/tpch-workload

@@ -1,8 +1,7 @@
 // Experiment harness: one benchmark and one assertion test per paper
 // figure and claim. The paper is a demo paper without numbered tables,
 // so the experiment set (F1-F4 for the figures, E5-E11 for the checkable
-// claims and demo features) is defined in DESIGN.md §4 and the results
-// are recorded in EXPERIMENTS.md.
+// claims and demo features) is defined in DESIGN.md §4.
 package stethoscope
 
 import (

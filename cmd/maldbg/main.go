@@ -20,13 +20,7 @@ import (
 	"strconv"
 	"strings"
 
-	"stethoscope/internal/algebra"
-	"stethoscope/internal/compiler"
-	"stethoscope/internal/engine"
-	"stethoscope/internal/server"
-	"stethoscope/internal/sql"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
+	"stethoscope"
 )
 
 func main() {
@@ -35,29 +29,16 @@ func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	flag.Parse()
 
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: *sf, Seed: 42}); err != nil {
-		log.Fatal(err)
-	}
-	stmt, err := sql.Parse(*query)
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := algebra.Bind(stmt, cat)
-	if err != nil {
-		log.Fatal(err)
-	}
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: *partitions})
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng := engine.New(cat)
-	dbg, err := engine.NewDebugger(eng, plan, nil)
+	dbg, err := db.Debug(*query, stethoscope.ExecPartitions(*partitions))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("mal debugger: %d instructions; 'list' to view, 'help' for commands\n", len(plan.Instrs))
+	fmt.Printf("mal debugger: %d instructions; 'list' to view, 'help' for commands\n", dbg.PlanSize())
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Printf("(maldbg pc=%d) ", dbg.PC())
@@ -75,14 +56,14 @@ func main() {
 		case "list", "l":
 			fmt.Print(dbg.Listing())
 		case "step", "s":
-			in, ok, err := dbg.Step()
+			in, err := dbg.Step()
 			switch {
 			case err != nil:
 				fmt.Println("error:", err)
-			case !ok:
+			case in == nil:
 				fmt.Println("plan finished")
 			default:
-				fmt.Printf("executed [%d] %s\n", in.PC, in.Name())
+				fmt.Printf("executed [%d] %s\n", in.PC, in.Name)
 			}
 		case "continue", "c":
 			stopped, err := dbg.Continue()
@@ -92,7 +73,7 @@ func main() {
 			case stopped == nil:
 				fmt.Println("plan finished")
 			default:
-				fmt.Printf("breakpoint at [%d] %s\n", stopped.PC, stopped.Name())
+				fmt.Printf("breakpoint at [%d] %s\n", stopped.PC, stopped.Name)
 			}
 		case "break", "b":
 			if len(fields) != 2 {
@@ -120,21 +101,19 @@ func main() {
 				fmt.Println("usage: print <X_n>")
 				continue
 			}
-			desc, err := dbg.InspectByName(fields[1])
+			desc, err := dbg.Inspect(fields[1])
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
 			fmt.Println(desc)
 		case "result", "r":
-			res := dbg.Result()
-			if res == nil {
+			ok, err := dbg.WriteResult(os.Stdout)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else if !ok {
 				fmt.Println("plan not finished")
-				continue
 			}
-			w := bufio.NewWriter(os.Stdout)
-			server.WriteResult(w, res)
-			w.Flush()
 		case "quit", "q", "exit":
 			return
 		default:

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -15,9 +16,7 @@ import (
 	"os/signal"
 	"syscall"
 
-	"stethoscope/internal/server"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
+	"stethoscope"
 )
 
 func main() {
@@ -27,26 +26,25 @@ func main() {
 	name := flag.String("name", "mserver", "server name announced to clients")
 	flag.Parse()
 
-	cat := storage.NewCatalog()
 	log.Printf("generating TPC-H data at SF=%g ...", *sf)
-	if err := tpch.Load(cat, tpch.Config{SF: *sf, Seed: *seed}); err != nil {
-		log.Fatalf("tpch: %v", err)
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
+	if err != nil {
+		log.Fatalf("open: %v", err)
 	}
-	for _, t := range cat.TableNames() {
-		tab, _ := cat.Table("sys", t[len("sys."):])
-		log.Printf("  %-14s %8d rows", t, tab.Rows())
+	for _, t := range db.Tables() {
+		log.Printf("  %-14s %8d rows", t.Name, t.Rows)
 	}
 
-	srv := server.New(*name, cat)
-	if err := srv.Listen(*addr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv, err := db.Serve(ctx, *name, *addr)
+	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	fmt.Printf("mserver %q listening on %s\n", *name, srv.Addr())
 	fmt.Println("protocol: SET partitions|workers N / TRACE udpaddr / FILTER ... / EXPLAIN sql / DOT sql / QUERY sql / TABLES / QUIT")
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	log.Println("shutting down")
 	srv.Close()
 }

@@ -14,15 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"stethoscope/internal/ascii"
-	"stethoscope/internal/core"
-	"stethoscope/internal/server"
+	"stethoscope"
 )
 
 func main() {
@@ -40,19 +39,44 @@ func main() {
 	topK := flag.Int("top", 10, "costly instructions to list")
 	flag.Parse()
 
+	algo, err := stethoscope.ParseColorAlgo(*colorAlgo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []stethoscope.AnalyzeOption{
+		stethoscope.WithColoring(algo),
+		stethoscope.WithThreshold(*thresholdUs),
+	}
+	render := stethoscope.RenderOptions{Width: *width, ANSI: *ansi}
+
+	var a *stethoscope.Analysis
 	switch {
 	case *dotPath != "" && *tracePath != "":
-		offline(*dotPath, *tracePath, *svgPath, *colorAlgo, *thresholdUs, *width, *ansi, *topK)
+		a = offline(*dotPath, *tracePath, opts)
 	case *serverAddr != "":
-		online(*serverAddr, *query, *partitions, *workers, *svgPath, *width, *ansi, *topK)
+		a = online(*serverAddr, *query, *partitions, *workers, opts)
 	default:
 		fmt.Fprintln(os.Stderr, "need either -dot/-trace (offline) or -server (online)")
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if err := a.WriteReport(os.Stdout, stethoscope.ReportOptions{Render: render, TopK: *topK}); err != nil {
+		log.Fatalf("report: %v", err)
+	}
+	if *svgPath != "" {
+		out, err := a.SVG()
+		if err != nil {
+			log.Fatalf("svg: %v", err)
+		}
+		if err := os.WriteFile(*svgPath, []byte(out), 0o644); err != nil {
+			log.Fatalf("write svg: %v", err)
+		}
+		fmt.Printf("\ndisplay window written to %s\n", *svgPath)
+	}
 }
 
-func offline(dotPath, tracePath, svgPath, colorAlgo string, thresholdUs int64, width int, ansi0 bool, topK int) {
+func offline(dotPath, tracePath string, opts []stethoscope.AnalyzeOption) *stethoscope.Analysis {
 	dotText, err := os.ReadFile(dotPath)
 	if err != nil {
 		log.Fatalf("read dot: %v", err)
@@ -61,117 +85,51 @@ func offline(dotPath, tracePath, svgPath, colorAlgo string, thresholdUs int64, w
 	if err != nil {
 		log.Fatalf("read trace: %v", err)
 	}
-	sess, err := core.OpenOffline(string(dotText), string(traceText), core.SessionOptions{})
+	a, err := stethoscope.OpenOffline(string(dotText), string(traceText), opts...)
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
-	report(sess, colorAlgo, thresholdUs, svgPath, width, ansi0, topK)
+	return a
 }
 
-func online(addr, query string, partitions, workers int, svgPath string, width int, ansi0 bool, topK int) {
-	ts, err := core.StartTextual("127.0.0.1:0", 4096)
+func online(addr, query string, partitions, workers int, opts []stethoscope.AnalyzeOption) *stethoscope.Analysis {
+	ctx := context.Background()
+	mon, err := stethoscope.Attach(ctx, "127.0.0.1:0")
 	if err != nil {
-		log.Fatalf("textual stethoscope: %v", err)
+		log.Fatalf("monitor: %v", err)
 	}
-	defer ts.Close()
-	fmt.Printf("textual stethoscope listening on %s\n", ts.Addr())
+	defer mon.Close()
+	fmt.Printf("monitor listening on %s\n", mon.Addr())
 
-	c, err := server.DialServer(addr)
+	r, err := stethoscope.Dial(addr)
 	if err != nil {
 		log.Fatalf("connect: %v", err)
 	}
-	defer c.Close()
-	for _, cmd := range []string{
-		"TRACE " + ts.Addr(),
-		fmt.Sprintf("SET partitions %d", partitions),
-		fmt.Sprintf("SET workers %d", workers),
-	} {
-		if _, _, err := c.Command(cmd); err != nil {
-			log.Fatalf("%s: %v", cmd, err)
-		}
+	defer r.Close()
+	if err := r.TraceTo(mon.Addr()); err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	if err := r.Configure(partitions, workers); err != nil {
+		log.Fatalf("configure: %v", err)
 	}
 	fmt.Printf("running: %s\n", query)
-	if _, rows, err := c.Command("QUERY " + query); err != nil {
+	rows, err := r.Query(query)
+	if err != nil {
 		log.Fatalf("query: %v", err)
-	} else {
-		fmt.Printf("result: %d data rows\n", max(0, len(rows)-1))
 	}
+	fmt.Printf("result: %d data rows\n", max(0, len(rows)-1))
 
-	// Wait for the stream to complete (dot + events).
-	deadline := time.Now().Add(10 * time.Second)
-	var srvAddr string
-	for time.Now().Before(deadline) && srvAddr == "" {
-		for _, a := range ts.Servers() {
-			ss, _ := ts.Server(a)
-			if _, err := ss.Graph(); err == nil && len(ss.Events()) > 0 {
-				srvAddr = a
-			}
-		}
-		time.Sleep(5 * time.Millisecond)
+	waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	source, err := mon.WaitComplete(waitCtx)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if srvAddr == "" {
-		log.Fatal("no complete stream received")
-	}
-	// Allow stragglers to drain.
-	time.Sleep(100 * time.Millisecond)
-	sess, err := ts.OpenOnlineSession(srvAddr, core.SessionOptions{})
+	a, err := mon.Analyze(source, opts...)
 	if err != nil {
 		log.Fatalf("session: %v", err)
 	}
-	report(sess, "pair", 1000, svgPath, width, ansi0, topK)
-}
-
-func report(sess *core.Session, colorAlgo string, thresholdUs int64, svgPath string, width int, ansi0 bool, topK int) {
-	opt := ascii.Options{Width: width, ANSI: ansi0}
-
-	var coloring core.Coloring
-	switch colorAlgo {
-	case "threshold":
-		coloring = core.Threshold(sess.Trace.Events(), thresholdUs)
-	case "gradient":
-		coloring, _ = core.Gradient(sess.Trace.Events())
-	default:
-		coloring = core.PairElision(sess.Trace.Events())
-	}
-
-	fmt.Printf("\n=== plan graph (%d nodes, %d edges; coloring: %s) ===\n",
-		len(sess.Graph.Nodes), len(sess.Graph.Edges), colorAlgo)
-	fmt.Print(ascii.RenderGraph(sess.Graph, sess.Layout, coloring.Fills(), opt))
-
-	fmt.Println("\n=== costly instructions ===")
-	fmt.Print(ascii.RenderCostly(core.TopCostly(sess.Trace, topK), opt))
-
-	fmt.Println("\n=== multi-core utilization ===")
-	fmt.Print(ascii.RenderUtilization(core.Utilize(sess.Trace), opt))
-
-	fmt.Println("\n=== birds-eye view ===")
-	fmt.Print(ascii.RenderBirdsEye(core.BirdsEye(sess.Trace, 8), opt))
-
-	fmt.Println("\n=== thread timeline ===")
-	fmt.Print(ascii.RenderGantt(core.ThreadTimeline(sess.Trace), opt))
-
-	fmt.Println("\n=== micro analysis ===")
-	fmt.Print(core.MicroReport(sess.Trace))
-
-	if !sess.Mapping.Complete() {
-		fmt.Printf("\nwarning: %d unmatched pcs, %d label mismatches\n",
-			len(sess.Mapping.Unmatched), len(sess.Mapping.LabelMismatches))
-	}
-
-	if svgPath != "" {
-		// Apply the chosen coloring to the glyph space and render.
-		for pc, color := range coloring {
-			sess.Space.SetNodeColor(fmt.Sprintf("n%d", pc), string(color))
-		}
-		out, err := sess.RenderSVG()
-		if err != nil {
-			log.Fatalf("svg: %v", err)
-		}
-		if err := os.WriteFile(svgPath, []byte(out), 0o644); err != nil {
-			log.Fatalf("write svg: %v", err)
-		}
-		fmt.Printf("\ndisplay window written to %s\n", svgPath)
-	}
+	return a
 }
 
 func max(a, b int) int {

@@ -9,15 +9,10 @@ package main
 import (
 	"bufio"
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
-	"stethoscope/internal/sql"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
+	"stethoscope"
 )
 
 func main() {
@@ -27,43 +22,13 @@ func main() {
 	limit := flag.Int("limit", 0, "max rows (0 = all)")
 	flag.Parse()
 
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: *sf, Seed: *seed}); err != nil {
-		log.Fatalf("tpch: %v", err)
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
+	if err != nil {
+		log.Fatalf("open: %v", err)
 	}
-	t, ok := cat.Table("sys", *table)
-	if !ok {
-		log.Fatalf("unknown table %q; have %s", *table, strings.Join(cat.TableNames(), ", "))
-	}
-
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	names := make([]string, len(t.Columns))
-	for i, c := range t.Columns {
-		names[i] = c.Name
-	}
-	fmt.Fprintln(w, strings.Join(names, ","))
-	rows := t.Rows()
-	if *limit > 0 && *limit < rows {
-		rows = *limit
-	}
-	for i := 0; i < rows; i++ {
-		for c, col := range t.Columns {
-			if c > 0 {
-				w.WriteByte(',')
-			}
-			b, _ := t.Column(col.Name)
-			switch col.Kind {
-			case storage.Flt:
-				w.WriteString(strconv.FormatFloat(b.FltAt(i), 'g', -1, 64))
-			case storage.Str:
-				w.WriteString(b.StrAt(i))
-			case storage.Date:
-				w.WriteString(sql.FormatDate(b.IntAt(i)))
-			default:
-				w.WriteString(strconv.FormatInt(b.IntAt(i), 10))
-			}
-		}
-		w.WriteByte('\n')
+	if err := db.DumpCSV(w, *table, *limit); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -10,20 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"stethoscope/internal/algebra"
-	"stethoscope/internal/compiler"
-	"stethoscope/internal/dot"
-	"stethoscope/internal/engine"
-	"stethoscope/internal/optimizer"
-	"stethoscope/internal/profiler"
-	"stethoscope/internal/sql"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
+	"stethoscope"
 )
 
 func main() {
@@ -35,55 +28,34 @@ func main() {
 	seed := flag.Uint64("seed", 42, "data generator seed")
 	flag.Parse()
 
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: *sf, Seed: *seed}); err != nil {
-		log.Fatalf("tpch: %v", err)
-	}
-
-	stmt, err := sql.Parse(*query)
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
 	if err != nil {
-		log.Fatalf("parse: %v", err)
+		log.Fatalf("open: %v", err)
 	}
-	tree, err := algebra.Bind(stmt, cat)
+	res, err := db.Exec(context.Background(), *query,
+		stethoscope.ExecPartitions(*partitions), stethoscope.ExecWorkers(*workers))
 	if err != nil {
-		log.Fatalf("bind: %v", err)
+		log.Fatalf("run: %v", err)
 	}
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: *partitions})
-	if err != nil {
-		log.Fatalf("compile: %v", err)
-	}
-	plan, stats, err := optimizer.Default().Run(plan)
-	if err != nil {
-		log.Fatalf("optimize: %v", err)
-	}
-	log.Println(stats)
+	log.Println(res.Stats.Optimizer)
 
 	dotPath := *out + ".dot"
-	if err := os.WriteFile(dotPath, []byte(dot.Export(plan).Marshal()), 0o644); err != nil {
+	if err := os.WriteFile(dotPath, []byte(res.Dot()), 0o644); err != nil {
 		log.Fatalf("write dot: %v", err)
 	}
-
 	tracePath := *out + ".trace"
 	f, err := os.Create(tracePath)
 	if err != nil {
 		log.Fatalf("create trace: %v", err)
 	}
-	sink := profiler.NewWriterSink(f)
-	prof := profiler.New(sink)
-
-	eng := engine.New(cat)
-	res, err := eng.Run(plan, engine.Options{Workers: *workers, Profiler: prof})
-	if err != nil {
-		log.Fatalf("run: %v", err)
-	}
-	if err := sink.Flush(); err != nil {
-		log.Fatalf("flush: %v", err)
+	if err := res.WriteTrace(f); err != nil {
+		log.Fatalf("write trace: %v", err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatalf("close: %v", err)
 	}
 
 	fmt.Printf("query returned %d rows\n", res.Rows())
-	fmt.Printf("plan: %d instructions -> %s\n", len(plan.Instrs), dotPath)
-	fmt.Printf("trace: %d events      -> %s\n", 2*len(plan.Instrs), tracePath)
+	fmt.Printf("plan: %d instructions -> %s\n", res.Stats.Instructions, dotPath)
+	fmt.Printf("trace: %d events      -> %s\n", res.TraceLen(), tracePath)
 }

@@ -1,34 +1,38 @@
 // Package stethoscope is a from-scratch Go reproduction of
 // "Stethoscope: A platform for interactive visual analysis of query
-// execution plans" (Gawade & Kersten, PVLDB 2012).
+// execution plans" (Gawade & Kersten, PVLDB 2012) — and the public,
+// composable facade over it.
 //
 // The paper's tool inspects MonetDB query execution: MAL plans rendered
 // as dataflow DAGs, animated with profiler traces, online (UDP stream
 // from the server) and offline (dot + trace files). This module rebuilds
-// the entire stack in Go:
+// the entire stack in Go and exposes it as a library through this root
+// package:
 //
-//   - internal/storage, internal/tpch — BAT columnar store and synthetic
-//     TPC-H data (the substrate MonetDB provides in the original);
-//   - internal/sql, internal/algebra, internal/compiler,
-//     internal/optimizer — SQL → relational algebra → MAL lowering with
-//     mitosis/mergetable partitioning and a MAL optimizer pipeline;
-//   - internal/mal, internal/engine, internal/profiler — the MAL language,
-//     a sequential + multi-core dataflow interpreter, and the per-
-//     instruction start/done event profiler;
-//   - internal/dot, internal/layout, internal/svg — the dot-file stage,
-//     a layered layout engine (GraphViz substitute), and the intermediate
-//     SVG representation;
-//   - internal/zvtm — the ZVTM/ZGrviewer object model: glyphs, virtual
-//     spaces, cameras, fisheye lenses, animations, and the EDT-style
-//     render queue with the paper's 150 ms dispatch ceiling;
-//   - internal/core — Stethoscope proper: pair-elision and threshold
-//     coloring (§4.2.1), trace replay, birds-eye clustering, utilization
-//     analysis, tooltips/debug data, and the online textual Stethoscope;
-//   - internal/netproto, internal/server — the UDP event stream and the
-//     Mserver TCP front-end;
-//   - internal/ascii — the headless display window.
+//	db, _ := stethoscope.Open(stethoscope.WithScaleFactor(0.01))
+//	res, _ := db.Exec(ctx, "select l_tax from lineitem where l_partkey=1")
+//	a, _ := stethoscope.Analyze(res)
+//	fmt.Print(a.RenderGraph(stethoscope.DefaultRender()))
 //
-// The benchmarks in bench_test.go regenerate every figure and checkable
-// claim of the paper; EXPERIMENTS.md records the results. See DESIGN.md
-// for the full system inventory and the substitution notes.
+// The surface is small and composable:
+//
+//   - DB / Open / Exec — the server side in-process: a synthetic TPC-H
+//     catalog (functional options: scale factor, seed, mitosis
+//     partitions, dataflow workers, optimizer pipeline) and a profiled
+//     MAL interpreter. Exec takes a context.Context that cancels the
+//     execution, and returns a Result bundling the optimized MAL plan,
+//     the profiler trace, the result table, and execution statistics.
+//   - Analyze / OpenOffline → Analysis — Stethoscope proper: the
+//     laid-out plan graph, execution-state coloring (pair-elision,
+//     threshold, gradient), replay, costly-instruction / utilization /
+//     birds-eye / Gantt / micro reports, SVG and terminal rendering.
+//   - Attach → Monitor, Dial → Remote, DB.Serve → Server — the online
+//     mode: a UDP monitor with a pluggable EventSink, the mserver TCP
+//     front-end, and its client.
+//   - DB.Debug → Debugger — the GDB-like MAL debugger the paper
+//     improves upon.
+//
+// Everything else lives under internal/; see DESIGN.md for the full
+// system inventory and the MonetDB-substitution notes. The experiment
+// harness regenerating the paper's figures and claims is bench_test.go.
 package stethoscope

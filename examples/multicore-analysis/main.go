@@ -7,19 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"stethoscope/internal/algebra"
-	"stethoscope/internal/ascii"
-	"stethoscope/internal/compiler"
-	"stethoscope/internal/core"
-	"stethoscope/internal/engine"
-	"stethoscope/internal/profiler"
-	"stethoscope/internal/sql"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
-	"stethoscope/internal/trace"
+	"stethoscope"
 )
 
 func main() {
@@ -27,51 +19,39 @@ func main() {
 		from lineitem where l_quantity > 5 and l_discount < 0.09`
 	const expectedWorkers = 8
 
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: 0.02, Seed: 99}); err != nil {
-		log.Fatal(err)
-	}
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tree, err := algebra.Bind(stmt, cat)
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(0.02), stethoscope.WithSeed(99))
 	if err != nil {
 		log.Fatal(err)
 	}
 	// A mitosis-partitioned plan: plenty of independent work.
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: 16})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("plan: %d instructions across 16 partitions\n", len(plan.Instrs))
-
-	eng := engine.New(cat)
-	run := func(workers int) core.Utilization {
-		sink := &profiler.SliceSink{}
-		prof := profiler.New(sink)
-		if _, err := eng.Run(plan, engine.Options{Workers: workers, Profiler: prof}); err != nil {
+	run := func(workers int) stethoscope.Utilization {
+		res, err := db.Exec(context.Background(), query,
+			stethoscope.ExecPartitions(16), stethoscope.ExecWorkers(workers))
+		if err != nil {
 			log.Fatal(err)
 		}
-		return core.Utilize(trace.FromEvents(sink.Events()))
+		if workers == expectedWorkers {
+			fmt.Printf("plan: %d instructions across 16 partitions\n", res.Stats.Instructions)
+		}
+		return res.Utilization()
 	}
 
 	fmt.Printf("\n== expected: dataflow on %d workers ==\n", expectedWorkers)
 	parallel := run(expectedWorkers)
-	fmt.Print(ascii.RenderUtilization(parallel, ascii.DefaultOptions()))
+	fmt.Print(stethoscope.RenderUtilization(parallel, stethoscope.DefaultRender()))
 
 	fmt.Println("\n== the anomaly: the same plan, accidentally serialized ==")
 	sequential := run(1)
-	fmt.Print(ascii.RenderUtilization(sequential, ascii.DefaultOptions()))
+	fmt.Print(stethoscope.RenderUtilization(sequential, stethoscope.DefaultRender()))
 
 	fmt.Println()
-	if core.SequentialAnomaly(sequential, expectedWorkers) {
+	if stethoscope.SequentialAnomaly(sequential, expectedWorkers) {
 		fmt.Printf("ANOMALY: plan expected on %d threads executed on %d — sequential execution where multithreaded was expected\n",
 			expectedWorkers, sequential.Threads)
 	} else {
 		log.Fatal("anomaly detector failed to flag the sequential run")
 	}
-	if core.SequentialAnomaly(parallel, expectedWorkers) {
+	if stethoscope.SequentialAnomaly(parallel, expectedWorkers) {
 		log.Fatal("anomaly detector misfired on the parallel run")
 	}
 	fmt.Printf("parallel run used %d threads (parallelism factor %.2f vs %.2f sequential)\n",

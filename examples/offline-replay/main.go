@@ -1,27 +1,19 @@
 // Offline replay: the paper's offline demo. A dot + trace pair is
 // produced (as cmd/tracegen would), written to disk, reopened with
-// core.OpenOffline, and then driven interactively: step-by-step
+// stethoscope.OpenOffline, and then driven interactively: step-by-step
 // walk-through, fast-forward, rewind, pause, coloring between two
 // instruction states, and the birds-eye view of the whole trace.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"time"
 
-	"stethoscope/internal/algebra"
-	"stethoscope/internal/ascii"
-	"stethoscope/internal/compiler"
-	"stethoscope/internal/core"
-	"stethoscope/internal/dot"
-	"stethoscope/internal/engine"
-	"stethoscope/internal/profiler"
-	"stethoscope/internal/sql"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
+	"stethoscope"
 )
 
 func main() {
@@ -37,73 +29,59 @@ func main() {
 	dotPath := filepath.Join(dir, "plan.dot")
 	tracePath := filepath.Join(dir, "plan.trace")
 
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: 0.005, Seed: 1}); err != nil {
-		log.Fatal(err)
-	}
-	stmt, err := sql.Parse(query)
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(0.005), stethoscope.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := algebra.Bind(stmt, cat)
+	res, err := db.Exec(context.Background(), query,
+		stethoscope.ExecPartitions(4), stethoscope.ExecWorkers(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: 4})
-	if err != nil {
+	if err := os.WriteFile(dotPath, []byte(res.Dot()), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(dotPath, []byte(dot.Export(plan).Marshal()), 0o644); err != nil {
+	if err := os.WriteFile(tracePath, []byte(res.TraceText()), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Create(tracePath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sink := profiler.NewWriterSink(f)
-	if _, err := engine.New(cat).Run(plan, engine.Options{Workers: 4, Profiler: profiler.New(sink)}); err != nil {
-		log.Fatal(err)
-	}
-	sink.Flush()
-	f.Close()
 	fmt.Printf("wrote %s and %s\n", dotPath, tracePath)
 
 	// Offline mode proper: open the files.
 	dotText, _ := os.ReadFile(dotPath)
 	traceText, _ := os.ReadFile(tracePath)
-	sess, err := core.OpenOffline(string(dotText), string(traceText), core.SessionOptions{
-		DispatchDelay: 10 * time.Millisecond,
-	})
+	a, err := stethoscope.OpenOffline(string(dotText), string(traceText),
+		stethoscope.WithDispatchDelay(10*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("opened session: %d nodes, %d trace events, mapping complete: %v\n",
-		len(sess.Graph.Nodes), sess.Trace.Len(), sess.Mapping.Complete())
+		a.Nodes(), a.TraceLen(), a.MappingComplete())
 
 	// Step-by-step walk-through of the first events.
 	now := time.Unix(0, 0)
+	replay := a.Replay()
 	fmt.Println("\n== step-by-step ==")
 	for i := 0; i < 4; i++ {
-		e, ok := sess.Replay.Step(now)
+		e, ok := replay.Step(now)
 		if !ok {
 			break
 		}
 		fmt.Printf("step %d: %s pc=%d %s\n", i+1, e.State, e.PC, e.Stmt)
 	}
-	sess.Queue.Flush(now.Add(time.Minute))
+	a.FlushReplay(now.Add(time.Minute))
 
 	// Fast-forward through half the trace, render, rewind a bit.
-	sess.Replay.FastForward(sess.Trace.Len()/2 - 4)
+	replay.FastForward(a.TraceLen()/2 - 4)
 	fmt.Printf("\n== display at the midpoint (position %d/%d) ==\n",
-		sess.Replay.Position(), sess.Replay.Len())
-	fmt.Print(ascii.RenderGraph(sess.Graph, sess.Layout, sess.Fills(), ascii.Options{Width: 120}))
+		replay.Position(), replay.Len())
+	fmt.Print(a.RenderReplay(stethoscope.RenderOptions{Width: 120}))
 
-	sess.Replay.Rewind(10)
-	fmt.Printf("rewound to position %d\n", sess.Replay.Position())
+	replay.Rewind(10)
+	fmt.Printf("rewound to position %d\n", replay.Position())
 
 	// Coloring between two instruction states (pair-elision on a window).
-	from, to := 0, sess.Trace.Len()/2
-	coloring, err := sess.Replay.ColorBetween(from, to)
+	from, to := 0, a.TraceLen()/2
+	coloring, err := a.ColorBetween(from, to)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,11 +95,11 @@ func main() {
 
 	// Birds-eye view of the whole trace.
 	fmt.Println("\n== birds-eye view ==")
-	fmt.Print(ascii.RenderBirdsEye(core.BirdsEye(sess.Trace, 6), ascii.DefaultOptions()))
+	fmt.Print(stethoscope.RenderBirdsEye(a.BirdsEye(6), stethoscope.DefaultRender()))
 
 	// Threshold coloring for comparison (the paper's second algorithm).
-	th := core.Threshold(sess.Trace.Events(), 200)
-	fmt.Printf("\nthreshold(200us) flags %d instructions\n", len(th))
+	a.Recolor(stethoscope.WithColoring(stethoscope.ColorThreshold), stethoscope.WithThreshold(200))
+	fmt.Printf("\nthreshold(200us) flags %d instructions\n", len(a.Coloring()))
 
 	fmt.Println("\noffline replay OK")
 }

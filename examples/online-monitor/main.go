@@ -1,103 +1,88 @@
 // Online monitor: the paper's online demo. An mserver runs in-process;
-// the textual Stethoscope listens on UDP; the query's dot file and its
-// execution trace stream live over the wire while the query runs; the
-// monitor builds the session from the streamed content and applies the
-// §4.2.1 live coloring.
+// the monitor (textual Stethoscope) listens on UDP; the query's dot file
+// and its execution trace stream live over the wire while the query
+// runs; the monitor builds the session from the streamed content and
+// applies the §4.2.1 live coloring.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"stethoscope/internal/ascii"
-	"stethoscope/internal/core"
-	"stethoscope/internal/server"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
+	"stethoscope"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Boot the server.
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: 0.005, Seed: 7}); err != nil {
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(0.005), stethoscope.WithSeed(7))
+	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.New("demo-mserver", cat)
-	if err := srv.Listen("127.0.0.1:0"); err != nil {
+	srv, err := db.Serve(ctx, "demo-mserver", "127.0.0.1:0")
+	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	fmt.Printf("mserver on %s\n", srv.Addr())
 
-	// Boot the textual Stethoscope (UDP listener + sampling buffer).
-	ts, err := core.StartTextual("127.0.0.1:0", 512)
+	// Boot the monitor (UDP listener + sampling buffer).
+	mon, err := stethoscope.Attach(ctx, "127.0.0.1:0", stethoscope.WithRingCapacity(512))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ts.Close()
-	fmt.Printf("textual stethoscope on %s\n", ts.Addr())
+	defer mon.Close()
+	fmt.Printf("monitor on %s\n", mon.Addr())
 
-	// Connect as a client, point the profiler stream at the stethoscope,
-	// and run a parallel query.
-	c, err := server.DialServer(srv.Addr())
+	// Connect as a client, point the profiler stream at the monitor, and
+	// run a parallel query.
+	c, err := stethoscope.Dial(srv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	for _, cmd := range []string{
-		"TRACE " + ts.Addr(),
-		"SET partitions 8",
-		"SET workers 4",
-	} {
-		if _, _, err := c.Command(cmd); err != nil {
-			log.Fatal(err)
-		}
+	if err := c.TraceTo(mon.Addr()); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Configure(8, 4); err != nil {
+		log.Fatal(err)
 	}
 	const query = "select l_orderkey, l_extendedprice from lineitem where l_quantity > 30"
 	fmt.Printf("running: %s\n", query)
-	if _, rows, err := c.Command("QUERY " + query); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("result rows: %d\n", len(rows)-1)
-	}
-
-	// Wait for the dot file and the trace to arrive.
-	var addr string
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) && addr == "" {
-		for _, a := range ts.Servers() {
-			ss, _ := ts.Server(a)
-			if _, err := ss.Graph(); err == nil && len(ss.Events()) > 0 {
-				addr = a
-			}
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	if addr == "" {
-		log.Fatal("stream never completed")
-	}
-	time.Sleep(100 * time.Millisecond) // drain stragglers
-	ss, _ := ts.Server(addr)
-	dotLines, events := ss.Counts()
-	fmt.Printf("received from %s (%q): %d dot lines, %d events\n",
-		addr, ss.ServerName(), dotLines, events)
-
-	// Live coloring over the sampling buffer (§4.2.1).
-	live := ss.LiveColoring()
-	fmt.Printf("live pair-elision flags %d long-running instructions\n", len(live))
-
-	// Build the full session and report.
-	sess, err := ts.OpenOnlineSession(addr, core.SessionOptions{})
+	rows, err := c.Query(query)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n== streamed plan (%d nodes) ==\n", len(sess.Graph.Nodes))
-	fills := core.PairElision(sess.Trace.Events()).Fills()
-	fmt.Print(ascii.RenderGraph(sess.Graph, sess.Layout, fills, ascii.Options{Width: 120}))
+	fmt.Printf("result rows: %d\n", len(rows)-1)
+
+	// Wait for the dot file and the trace to arrive.
+	waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	source, err := mon.WaitComplete(waitCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dotLines, events, _ := mon.SourceCounts(source)
+	fmt.Printf("received from %s (%q): %d dot lines, %d events\n",
+		source, mon.SourceName(source), dotLines, events)
+
+	// Live coloring over the sampling buffer (§4.2.1).
+	live := mon.LiveColoring(source)
+	fmt.Printf("live pair-elision flags %d long-running instructions\n", len(live))
+
+	// Build the full session and report.
+	a, err := mon.Analyze(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== streamed plan (%d nodes) ==\n", a.Nodes())
+	fmt.Print(a.RenderGraph(stethoscope.RenderOptions{Width: 120}))
 
 	fmt.Println("\n== utilization ==")
-	fmt.Print(ascii.RenderUtilization(core.Utilize(sess.Trace), ascii.DefaultOptions()))
+	fmt.Print(stethoscope.RenderUtilization(a.Utilization(), stethoscope.DefaultRender()))
 
 	fmt.Println("\nonline monitor OK")
 }

@@ -1,110 +1,44 @@
 // Quickstart: the full Stethoscope pipeline in-process, on the paper's
 // own example query (Figure 1: "select l_tax from lineitem where
-// l_partkey=1"): generate TPC-H data, compile SQL to a MAL plan, execute
-// it under the profiler, build the analysis session, and print the
-// colored plan with the costly-instruction report.
+// l_partkey=1"): generate TPC-H data, execute the query under the
+// profiler, open the analysis session, and print the colored plan with
+// the costly-instruction report.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"strings"
 
-	"stethoscope/internal/algebra"
-	"stethoscope/internal/ascii"
-	"stethoscope/internal/compiler"
-	"stethoscope/internal/core"
-	"stethoscope/internal/dot"
-	"stethoscope/internal/engine"
-	"stethoscope/internal/optimizer"
-	"stethoscope/internal/profiler"
-	"stethoscope/internal/sql"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
-	"stethoscope/internal/trace"
+	"stethoscope"
 )
 
 func main() {
-	const query = "select l_tax from lineitem where l_partkey=1"
-
-	// 1. The data substrate: a synthetic TPC-H catalog.
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: 0.005, Seed: 42}); err != nil {
-		log.Fatal(err)
-	}
-
-	// 2. SQL -> relational algebra -> MAL -> optimized MAL.
-	stmt, err := sql.Parse(query)
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(0.005), stethoscope.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tree, err := algebra.Bind(stmt, cat)
-	if err != nil {
-		log.Fatal(err)
-	}
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	plan, stats, err := optimizer.Default().Run(plan)
+	res, err := db.Exec(context.Background(), "select l_tax from lineitem where l_partkey=1")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("== MAL plan (paper Figure 1) ==")
-	fmt.Print(plan)
-	fmt.Println(stats)
+	fmt.Print(res.PlanString())
+	fmt.Printf("\nquery returned %d rows; trace has %d events\n", res.Rows(), res.TraceLen())
 
-	// 3. Execute under the profiler: one start + one done event per
-	// instruction (paper Figure 3).
-	sink := &profiler.SliceSink{}
-	prof := profiler.New(sink)
-	res, err := engine.New(cat).Run(plan, engine.Options{Profiler: prof})
+	a, err := stethoscope.Analyze(res)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nquery returned %d rows; trace has %d events\n", res.Rows(), len(sink.Events()))
-	fmt.Println("\n== first trace lines ==")
-	for i, e := range sink.Events() {
-		if i == 6 {
-			fmt.Println("...")
-			break
-		}
-		fmt.Println(e.Marshal())
-	}
-
-	// 4. Build the analysis session: dot export, layout, svg, glyphs,
-	// pc-to-node mapping.
-	g := dot.Export(plan)
-	st := trace.FromEvents(sink.Events())
-	sess, err := core.NewSession(g, st, core.SessionOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !sess.Mapping.Complete() {
-		log.Fatalf("trace/dot mapping incomplete: %+v", sess.Mapping)
-	}
-
-	// 5. Replay the whole trace and show the display window.
-	sess.Replay.FastForward(st.Len())
+	a.Replay().FastForward(res.TraceLen())
 	fmt.Println("\n== display window (all instructions completed: '+') ==")
-	fmt.Print(ascii.RenderGraph(sess.Graph, sess.Layout, sess.Fills(), ascii.DefaultOptions()))
+	fmt.Print(a.RenderReplay(stethoscope.DefaultRender()))
 
 	fmt.Println("\n== where the time went ==")
-	fmt.Print(ascii.RenderCostly(core.TopCostly(st, 5), ascii.DefaultOptions()))
-
-	// 6. A tooltip, as the hover would show it.
-	top := core.TopCostly(st, 1)
-	if len(top) == 1 {
+	fmt.Print(stethoscope.RenderCostly(res.Costly(5), stethoscope.DefaultRender()))
+	if top := res.Costly(1); len(top) == 1 {
 		fmt.Println("\n== tooltip of the costliest instruction ==")
-		fmt.Println(core.Tooltip(st, top[0].PC))
-	}
-
-	// Sanity: the plan has the shape the paper's Figure 1 shows.
-	listing := plan.String()
-	for _, want := range []string{"sql.bind", "algebra.thetaselect", "algebra.leftjoin"} {
-		if !strings.Contains(listing, want) {
-			log.Fatalf("plan missing %s", want)
-		}
+		fmt.Println(res.Tooltip(top[0].PC))
 	}
 	fmt.Println("\nquickstart OK")
 }

@@ -6,75 +6,44 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"stethoscope/internal/algebra"
-	"stethoscope/internal/ascii"
-	"stethoscope/internal/compiler"
-	"stethoscope/internal/core"
-	"stethoscope/internal/engine"
-	"stethoscope/internal/optimizer"
-	"stethoscope/internal/profiler"
-	"stethoscope/internal/sql"
-	"stethoscope/internal/storage"
-	"stethoscope/internal/tpch"
-	"stethoscope/internal/trace"
+	"stethoscope"
 )
 
 func main() {
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: 0.01, Seed: 2012}); err != nil {
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(0.01), stethoscope.WithSeed(2012),
+		stethoscope.WithPartitions(8), stethoscope.WithWorkers(4))
+	if err != nil {
 		log.Fatal(err)
 	}
-	eng := engine.New(cat)
-	opt := ascii.Options{Width: 100}
+	opt := stethoscope.RenderOptions{Width: 100}
 
-	for _, q := range tpch.Queries() {
+	for _, q := range stethoscope.Queries() {
 		fmt.Printf("\n================ %s — %s ================\n", q.ID, q.Name)
 		if q.Adapted != "" {
 			fmt.Printf("(adapted: %s)\n", q.Adapted)
 		}
 
-		stmt, err := sql.Parse(q.SQL)
+		res, err := db.Exec(context.Background(), q.SQL)
 		if err != nil {
 			log.Fatalf("%s: %v", q.ID, err)
 		}
-		tree, err := algebra.Bind(stmt, cat)
-		if err != nil {
-			log.Fatalf("%s: %v", q.ID, err)
-		}
-		plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: 8})
-		if err != nil {
-			log.Fatalf("%s: %v", q.ID, err)
-		}
-		plan, stats, err := optimizer.Default().Run(plan)
-		if err != nil {
-			log.Fatalf("%s: %v", q.ID, err)
-		}
-
-		sink := &profiler.SliceSink{}
-		start := time.Now()
-		res, err := eng.Run(plan, engine.Options{Workers: 4, Profiler: profiler.New(sink)})
-		if err != nil {
-			log.Fatalf("%s: %v", q.ID, err)
-		}
-		elapsed := time.Since(start)
-		st := trace.FromEvents(sink.Events())
-
 		fmt.Printf("plan: %d instructions (%s); result: %d rows in %v\n",
-			len(plan.Instrs), stats, res.Rows(), elapsed.Round(time.Microsecond))
+			res.Stats.Instructions, res.Stats.Optimizer, res.Rows(),
+			res.Stats.Elapsed.Round(time.Microsecond))
 
-		top := core.TopCostly(st, 3)
 		fmt.Println("costliest instructions:")
-		fmt.Print(ascii.RenderCostly(top, opt))
+		fmt.Print(stethoscope.RenderCostly(res.Costly(3), opt))
 
-		u := core.Utilize(st)
+		u := res.Utilization()
 		fmt.Printf("parallelism %.2f over %d threads\n", u.Parallelism, u.Threads)
-		fmt.Print(ascii.RenderGantt(core.ThreadTimeline(st), opt))
+		fmt.Print(stethoscope.RenderGantt(res.ThreadTimeline(), opt))
 
-		mods := core.ModuleBreakdown(st)
+		mods := res.ModuleBreakdown()
 		if len(mods) > 0 {
 			fmt.Printf("dominant module: %s (%.0f%% of %dus busy time)\n",
 				mods[0].Module, mods[0].Share*100, busyTotal(mods))
@@ -83,7 +52,7 @@ func main() {
 	fmt.Println("\ntpch workload OK")
 }
 
-func busyTotal(mods []core.ModuleStat) int64 {
+func busyTotal(mods []stethoscope.ModuleStat) int64 {
 	var t int64
 	for _, m := range mods {
 		t += m.BusyUs

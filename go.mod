@@ -1,0 +1,3 @@
+module stethoscope
+
+go 1.24

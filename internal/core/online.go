@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -96,6 +97,10 @@ func (ss *ServerStream) Counts() (dotLines, events int) {
 // tracing of execution states on each of the connected servers."
 type TextualStethoscope struct {
 	listener *netproto.Listener
+	// stop releases the context watcher when the stethoscope is closed
+	// before its context is canceled.
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	mu      sync.Mutex
 	servers map[string]*ServerStream
@@ -115,23 +120,46 @@ func (ts *TextualStethoscope) SetOnEvent(fn func(addr string, e profiler.Event))
 // StartTextual binds the UDP listener ("127.0.0.1:0" picks a free port).
 // ringCap is the per-server sampling buffer capacity.
 func StartTextual(addr string, ringCap int) (*TextualStethoscope, error) {
+	return StartTextualContext(context.Background(), addr, ringCap)
+}
+
+// StartTextualContext is StartTextual bounded by a context: when ctx is
+// canceled the UDP listener shuts down and no further events are
+// accepted. Streams received so far remain readable.
+func StartTextualContext(ctx context.Context, addr string, ringCap int) (*TextualStethoscope, error) {
 	if ringCap <= 0 {
 		ringCap = 1024
 	}
-	ts := &TextualStethoscope{servers: map[string]*ServerStream{}, ringCap: ringCap}
+	ts := &TextualStethoscope{
+		servers: map[string]*ServerStream{},
+		ringCap: ringCap,
+		stop:    make(chan struct{}),
+	}
 	l, err := netproto.Listen(addr, ts.handle)
 	if err != nil {
 		return nil, err
 	}
 	ts.listener = l
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				l.Close()
+			case <-ts.stop:
+			}
+		}()
+	}
 	return ts, nil
 }
 
 // Addr returns the UDP address servers should stream to.
 func (ts *TextualStethoscope) Addr() string { return ts.listener.Addr() }
 
-// Close stops the listener.
-func (ts *TextualStethoscope) Close() error { return ts.listener.Close() }
+// Close stops the listener and releases the context watcher.
+func (ts *TextualStethoscope) Close() error {
+	ts.stopOnce.Do(func() { close(ts.stop) })
+	return ts.listener.Close()
+}
 
 // Servers lists the source addresses seen so far.
 func (ts *TextualStethoscope) Servers() []string {

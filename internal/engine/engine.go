@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -172,7 +173,18 @@ func (ctx *Context) setVal(in *mal.Instr, i int, v mal.Value) {
 // Run executes the plan and returns its exported result (nil for plans
 // without sql.exportResult).
 func (e *Engine) Run(plan *mal.Plan, opt Options) (*Result, error) {
+	return e.RunContext(context.Background(), plan, opt)
+}
+
+// RunContext executes the plan under a context: cancellation or deadline
+// expiry aborts the run between instructions (sequential mode) or stops
+// the dataflow scheduler from dispatching further work, and the context
+// error is returned.
+func (e *Engine) RunContext(cctx context.Context, plan *mal.Plan, opt Options) (*Result, error) {
 	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if err := cctx.Err(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	ctx := &Context{Plan: plan, eng: e, vals: make([]mal.Value, len(plan.Vars))}
@@ -181,9 +193,9 @@ func (e *Engine) Run(plan *mal.Plan, opt Options) (*Result, error) {
 	}
 	var err error
 	if opt.Workers <= 1 {
-		err = e.runSequential(ctx, opt)
+		err = e.runSequential(cctx, ctx, opt)
 	} else {
-		err = e.runDataflow(ctx, opt)
+		err = e.runDataflow(cctx, ctx, opt)
 	}
 	if err != nil {
 		return nil, err
@@ -232,8 +244,11 @@ func (ctx *Context) accounting(in *mal.Instr) (reads, writes, rssKB int64) {
 	return reads, writes, rssKB
 }
 
-func (e *Engine) runSequential(ctx *Context, opt Options) error {
+func (e *Engine) runSequential(cctx context.Context, ctx *Context, opt Options) error {
 	for _, in := range ctx.Plan.Instrs {
+		if err := cctx.Err(); err != nil {
+			return fmt.Errorf("engine: canceled at pc=%d: %w", in.PC, err)
+		}
 		if err := e.exec(ctx, in, 0, opt.Profiler); err != nil {
 			return err
 		}
@@ -245,7 +260,7 @@ func (e *Engine) runSequential(ctx *Context, opt Options) error {
 // using dependency counting: an instruction becomes ready when all its
 // producers have finished. Side-effecting instructions additionally chain
 // on the previous side-effecting instruction to preserve their order.
-func (e *Engine) runDataflow(ctx *Context, opt Options) error {
+func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) error {
 	plan := ctx.Plan
 	n := len(plan.Instrs)
 	if n == 0 {
@@ -280,18 +295,32 @@ func (e *Engine) runDataflow(ctx *Context, opt Options) error {
 		mu        sync.Mutex
 		firstErr  error
 		completed int
+		finished  bool
 		wg        sync.WaitGroup
 		done      = make(chan struct{})
 	)
-	complete := func(pc int, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil && firstErr == nil {
-			firstErr = err
-			close(done)
+	// finish records the run outcome exactly once; callers hold mu.
+	finish := func(err error) {
+		if finished {
 			return
 		}
-		if firstErr != nil {
+		finished = true
+		firstErr = err
+		close(done)
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		finish(err)
+	}
+	complete := func(pc int, err error) {
+		if err != nil {
+			fail(err)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if finished {
 			return
 		}
 		completed++
@@ -302,7 +331,7 @@ func (e *Engine) runDataflow(ctx *Context, opt Options) error {
 			}
 		}
 		if completed == len(plan.Instrs) {
-			close(done)
+			finish(nil)
 		}
 	}
 
@@ -315,6 +344,9 @@ func (e *Engine) runDataflow(ctx *Context, opt Options) error {
 				case pc := <-ready:
 					err := e.exec(ctx, plan.Instrs[pc], worker, opt.Profiler)
 					complete(pc, err)
+				case <-cctx.Done():
+					fail(fmt.Errorf("engine: canceled: %w", cctx.Err()))
+					return
 				case <-done:
 					return
 				}

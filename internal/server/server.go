@@ -9,6 +9,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strconv"
@@ -32,6 +33,11 @@ type Server struct {
 	Name string
 	eng  *engine.Engine
 
+	// ctx is the server lifetime: queries execute under it, so Close (or
+	// cancellation of the parent context) aborts in-flight executions.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu sync.Mutex
 	ln net.Listener
 	wg sync.WaitGroup
@@ -39,7 +45,14 @@ type Server struct {
 
 // New creates a server over the catalog.
 func New(name string, cat *storage.Catalog) *Server {
-	return &Server{Name: name, eng: engine.New(cat)}
+	return NewContext(context.Background(), name, cat)
+}
+
+// NewContext creates a server whose lifetime is bounded by ctx: when ctx
+// is canceled the listener shuts down and running queries are aborted.
+func NewContext(ctx context.Context, name string, cat *storage.Catalog) *Server {
+	ctx, cancel := context.WithCancel(ctx)
+	return &Server{Name: name, eng: engine.New(cat), ctx: ctx, cancel: cancel}
 }
 
 // Engine exposes the underlying engine (examples drive it directly).
@@ -55,6 +68,10 @@ func (s *Server) Listen(addr string) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	go func() {
+		<-s.ctx.Done()
+		ln.Close()
+	}()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -83,17 +100,13 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting, aborts running queries, and waits for in-flight
+// connections. Closing the listener is delegated to the context watcher
+// that Listen installs.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	ln := s.ln
-	s.mu.Unlock()
-	var err error
-	if ln != nil {
-		err = ln.Close()
-	}
+	s.cancel()
 	s.wg.Wait()
-	return err
+	return nil
 }
 
 // session is per-connection state.
@@ -332,7 +345,7 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 	if sess.streamer != nil {
 		sess.streamer.SendDot(query, dot.Export(plan).Marshal())
 	}
-	res, err := sess.srv.eng.Run(plan, engine.Options{
+	res, err := sess.srv.eng.RunContext(sess.srv.ctx, plan, engine.Options{
 		Workers:  sess.workers,
 		Profiler: sess.prof,
 	})

@@ -1,0 +1,101 @@
+package stethoscope
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"stethoscope/internal/server"
+)
+
+// Server is a running mserver front-end: the TCP command protocol
+// (SET / TRACE / FILTER / EXPLAIN / ALGEBRA / DOT / QUERY / TABLES) over
+// this database.
+type Server struct {
+	inner *server.Server
+}
+
+// Serve starts the TCP front-end on addr ("127.0.0.1:0" picks a free
+// port). name is announced to clients. Canceling ctx (or calling Close)
+// stops the listener and aborts in-flight query executions.
+func (db *DB) Serve(ctx context.Context, name, addr string) (*Server, error) {
+	srv := server.NewContext(ctx, name, db.cat)
+	if err := srv.Listen(addr); err != nil {
+		srv.Close() // release the derived context
+		return nil, fmt.Errorf("stethoscope: %w", err)
+	}
+	return &Server{inner: srv}, nil
+}
+
+// Addr returns the bound TCP address.
+func (s *Server) Addr() string { return s.inner.Addr() }
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() error { return s.inner.Close() }
+
+// Remote is a client connection to an mserver.
+type Remote struct {
+	c *server.Client
+}
+
+// Dial connects to an mserver and consumes its greeting.
+func Dial(addr string) (*Remote, error) {
+	c, err := server.DialServer(addr)
+	if err != nil {
+		return nil, fmt.Errorf("stethoscope: %w", err)
+	}
+	return &Remote{c: c}, nil
+}
+
+// Close terminates the connection politely.
+func (r *Remote) Close() error { return r.c.Close() }
+
+// Command sends one raw protocol line and returns the status line plus
+// any multiline payload.
+func (r *Remote) Command(line string) (status string, payload []string, err error) {
+	return r.c.Command(line)
+}
+
+// TraceTo points the server's profiler stream at a monitor's UDP
+// address (Monitor.Addr). The server sends each query's dot file before
+// execution begins, then the event stream while it runs.
+func (r *Remote) TraceTo(udpAddr string) error {
+	_, _, err := r.c.Command("TRACE " + udpAddr)
+	return err
+}
+
+// Configure sets the connection's mitosis partition and dataflow worker
+// counts.
+func (r *Remote) Configure(partitions, workers int) error {
+	for _, cmd := range []string{
+		fmt.Sprintf("SET partitions %d", partitions),
+		fmt.Sprintf("SET workers %d", workers),
+	} {
+		if _, _, err := r.c.Command(cmd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query executes SQL on the server and returns the result lines: a
+// tab-separated header followed by the data rows.
+func (r *Remote) Query(sql string) ([]string, error) {
+	_, rows, err := r.c.Command("QUERY " + sql)
+	return rows, err
+}
+
+// Explain returns the server's optimized MAL listing for a query.
+func (r *Remote) Explain(sql string) (string, error) {
+	_, lines, err := r.c.Command("EXPLAIN " + sql)
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// Tables lists the server's catalog tables.
+func (r *Remote) Tables() ([]string, error) {
+	_, lines, err := r.c.Command("TABLES")
+	return lines, err
+}

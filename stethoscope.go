@@ -1,0 +1,286 @@
+package stethoscope
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/engine"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/optimizer"
+	"stethoscope/internal/profiler"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+	"stethoscope/internal/tpch"
+	"stethoscope/internal/trace"
+)
+
+// config collects the Open-time settings.
+type config struct {
+	sf         float64
+	seed       uint64
+	partitions int
+	workers    int
+	passes     []string // nil selects the default optimizer pipeline
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithScaleFactor sets the synthetic TPC-H scale factor (default 0.01).
+func WithScaleFactor(sf float64) Option { return func(c *config) { c.sf = sf } }
+
+// WithSeed sets the data generator seed (default 42), making the
+// database contents reproducible.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithPartitions sets the default mitosis partition count queries are
+// compiled with (default 1 — no partitioning). ExecPartitions overrides
+// it per query.
+func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } }
+
+// WithWorkers sets the default dataflow worker count queries execute
+// with (default 1 — sequential interpretation). ExecWorkers overrides it
+// per query.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithOptimizerPasses selects the MAL optimizer pipeline by pass name,
+// in order. Known passes: "cse", "deadcode". An explicit empty list
+// disables optimization; omitting the option selects the default
+// pipeline (cse, deadcode).
+func WithOptimizerPasses(names ...string) Option {
+	return func(c *config) {
+		if names == nil {
+			names = []string{}
+		}
+		c.passes = names
+	}
+}
+
+// buildPipeline resolves pass names into an optimizer pipeline.
+func buildPipeline(names []string) (optimizer.Pipeline, error) {
+	if names == nil {
+		return optimizer.Default(), nil
+	}
+	var pl optimizer.Pipeline
+	for _, n := range names {
+		switch strings.ToLower(n) {
+		case "cse":
+			pl.Passes = append(pl.Passes, optimizer.CSE{})
+		case "deadcode":
+			pl.Passes = append(pl.Passes, optimizer.DeadCode{})
+		default:
+			return pl, fmt.Errorf("stethoscope: unknown optimizer pass %q (have cse, deadcode)", n)
+		}
+	}
+	return pl, nil
+}
+
+// DB is an in-process instance of the paper's whole server side: a BAT
+// catalog loaded with synthetic TPC-H data, the SQL → algebra → MAL
+// compiler, the optimizer pipeline, and the profiled MAL interpreter.
+// One DB serves many concurrent Exec calls.
+type DB struct {
+	cfg      config
+	pipeline optimizer.Pipeline
+	cat      *storage.Catalog
+	eng      *engine.Engine
+}
+
+// Open generates the data substrate and returns a ready database.
+func Open(opts ...Option) (*DB, error) {
+	cfg := config{sf: 0.01, seed: 42, partitions: 1, workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.sf <= 0 {
+		return nil, fmt.Errorf("stethoscope: scale factor must be positive, got %g", cfg.sf)
+	}
+	if cfg.partitions < 1 || cfg.workers < 1 {
+		return nil, fmt.Errorf("stethoscope: partitions and workers must be >= 1")
+	}
+	pl, err := buildPipeline(cfg.passes)
+	if err != nil {
+		return nil, err
+	}
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: cfg.sf, Seed: cfg.seed}); err != nil {
+		return nil, fmt.Errorf("stethoscope: %w", err)
+	}
+	return &DB{cfg: cfg, pipeline: pl, cat: cat, eng: engine.New(cat)}, nil
+}
+
+// Close releases the database. It exists for symmetry and future
+// resource ownership; the current implementation is purely in-memory.
+func (db *DB) Close() error { return nil }
+
+// TableInfo describes one catalog table.
+type TableInfo struct {
+	Name string // qualified name, e.g. "sys.lineitem"
+	Rows int
+}
+
+// Tables lists the catalog tables with their row counts.
+func (db *DB) Tables() []TableInfo {
+	names := db.cat.TableNames()
+	out := make([]TableInfo, 0, len(names))
+	for _, n := range names {
+		rows := 0
+		if i := strings.IndexByte(n, '.'); i >= 0 {
+			if t, ok := db.cat.Table(n[:i], n[i+1:]); ok {
+				rows = t.Rows()
+			}
+		}
+		out = append(out, TableInfo{Name: n, Rows: rows})
+	}
+	return out
+}
+
+// execConfig is the per-call override of the DB execution defaults.
+type execConfig struct {
+	partitions int
+	workers    int
+}
+
+// ExecOption overrides execution settings for a single Exec / Explain /
+// Debug call.
+type ExecOption func(*execConfig)
+
+// ExecPartitions compiles this query with n mitosis partitions.
+func ExecPartitions(n int) ExecOption { return func(c *execConfig) { c.partitions = n } }
+
+// ExecWorkers executes this query on n dataflow workers.
+func ExecWorkers(n int) ExecOption { return func(c *execConfig) { c.workers = n } }
+
+func (db *DB) execConfig(opts []ExecOption) execConfig {
+	ec := execConfig{partitions: db.cfg.partitions, workers: db.cfg.workers}
+	for _, o := range opts {
+		o(&ec)
+	}
+	return ec
+}
+
+// compile lowers SQL to an optimized MAL plan under the DB's pipeline.
+func (db *DB) compile(query string, partitions int) (*mal.Plan, OptimizerStats, error) {
+	var stats OptimizerStats
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, stats, fmt.Errorf("stethoscope: parse: %w", err)
+	}
+	tree, err := algebra.Bind(stmt, db.cat)
+	if err != nil {
+		return nil, stats, fmt.Errorf("stethoscope: bind: %w", err)
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: partitions})
+	if err != nil {
+		return nil, stats, fmt.Errorf("stethoscope: compile: %w", err)
+	}
+	plan, stats, err = db.pipeline.Run(plan)
+	if err != nil {
+		return nil, stats, fmt.Errorf("stethoscope: optimize: %w", err)
+	}
+	return plan, stats, nil
+}
+
+// Exec compiles, optimizes, and executes one SQL query under the
+// profiler. The returned Result bundles the optimized MAL plan, the full
+// execution trace, the result table, and execution statistics. The
+// context cancels the execution: sequential runs stop between
+// instructions, dataflow runs stop dispatching work.
+func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Result, error) {
+	ec := db.execConfig(opts)
+	plan, ostats, err := db.compile(query, ec.partitions)
+	if err != nil {
+		return nil, err
+	}
+	sink := &profiler.SliceSink{}
+	start := time.Now()
+	res, err := db.eng.RunContext(ctx, plan, engine.Options{
+		Workers:  ec.workers,
+		Profiler: profiler.New(sink),
+	})
+	if err != nil {
+		return nil, err
+	}
+	events := sink.Events()
+	return &Result{
+		traceView: traceView{store: trace.FromEvents(events)},
+		Query:     query,
+		Stats: Stats{
+			Optimizer:    ostats,
+			Elapsed:      time.Since(start),
+			Instructions: len(plan.Instrs),
+			Partitions:   ec.partitions,
+			Workers:      ec.workers,
+		},
+		plan: plan,
+		res:  res,
+	}, nil
+}
+
+// Explain compiles and optimizes the query without executing it and
+// returns the MAL listing.
+func (db *DB) Explain(query string, opts ...ExecOption) (string, error) {
+	ec := db.execConfig(opts)
+	plan, _, err := db.compile(query, ec.partitions)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// DumpCSV writes a catalog table as CSV with a header line. limit bounds
+// the row count (0 dumps everything).
+func (db *DB) DumpCSV(w io.Writer, table string, limit int) error {
+	t, ok := db.cat.Table("sys", table)
+	if !ok {
+		names := make([]string, 0)
+		for _, ti := range db.Tables() {
+			names = append(names, ti.Name)
+		}
+		return fmt.Errorf("stethoscope: unknown table %q; have %s", table, strings.Join(names, ", "))
+	}
+	names := make([]string, len(t.Columns))
+	bats := make([]*storage.BAT, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+		bats[i], _ = t.Column(c.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(names, ",")); err != nil {
+		return err
+	}
+	rows := t.Rows()
+	if limit > 0 && limit < rows {
+		rows = limit
+	}
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		b.Reset()
+		for c, col := range t.Columns {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			bat := bats[c]
+			switch col.Kind {
+			case storage.Flt:
+				b.WriteString(strconv.FormatFloat(bat.FltAt(i), 'g', -1, 64))
+			case storage.Str:
+				b.WriteString(bat.StrAt(i))
+			case storage.Date:
+				b.WriteString(sql.FormatDate(bat.IntAt(i)))
+			default:
+				b.WriteString(strconv.FormatInt(bat.IntAt(i), 10))
+			}
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
