@@ -339,16 +339,38 @@ func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) er
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// stopped reports whether the run is canceled or finished
+			// (including failed), recording cancellation as the run
+			// error. Workers must not dispatch queued instructions past
+			// either point, and a select with several live cases picks
+			// randomly — so every path funnels through this check.
+			stopped := func() bool {
+				select {
+				case <-cctx.Done():
+					fail(fmt.Errorf("engine: canceled: %w", cctx.Err()))
+					return true
+				case <-done:
+					return true
+				default:
+					return false
+				}
+			}
 			for {
+				if stopped() {
+					return
+				}
 				select {
 				case pc := <-ready:
+					// Re-check: ready may have won the race against
+					// cancellation or completion.
+					if stopped() {
+						return
+					}
 					err := e.exec(ctx, plan.Instrs[pc], worker, opt.Profiler)
 					complete(pc, err)
 				case <-cctx.Done():
-					fail(fmt.Errorf("engine: canceled: %w", cctx.Err()))
-					return
+					// Handled by stopped() at the top of the loop.
 				case <-done:
-					return
 				}
 			}
 		}(w)

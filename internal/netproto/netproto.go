@@ -144,9 +144,11 @@ type Handler func(from string, m Msg)
 // multiple MonetDB servers at the same time"); the source address keys
 // the per-server demultiplexing.
 type Listener struct {
-	conn   *net.UDPConn
-	closed chan struct{}
-	wg     sync.WaitGroup
+	conn      *net.UDPConn
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	wg        sync.WaitGroup
 }
 
 // Listen opens a UDP socket on addr ("127.0.0.1:0" for an ephemeral
@@ -190,10 +192,14 @@ func (l *Listener) loop(h Handler) {
 	}
 }
 
-// Close stops the receive loop and releases the socket.
+// Close stops the receive loop and releases the socket. It is
+// idempotent and safe for concurrent use: a listener may be shut down
+// both by a context watcher and by an explicit Close.
 func (l *Listener) Close() error {
-	close(l.closed)
-	err := l.conn.Close()
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.closeErr = l.conn.Close()
+	})
 	l.wg.Wait()
-	return err
+	return l.closeErr
 }

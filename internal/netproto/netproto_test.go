@@ -191,3 +191,25 @@ func TestDialErrors(t *testing.T) {
 		t.Error("bad listen address accepted")
 	}
 }
+
+// TestListenerCloseIdempotent pins the guarantee online monitoring
+// relies on: a listener shut down by a context watcher and again by an
+// explicit Close (possibly concurrently) must not panic.
+func TestListenerCloseIdempotent(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", func(string, Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Close()
+		}()
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatalf("repeated Close: %v", err)
+	}
+}

@@ -38,9 +38,10 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu sync.Mutex
-	ln net.Listener
-	wg sync.WaitGroup
+	mu    sync.Mutex
+	ln    net.Listener
+	lnErr error
+	wg    sync.WaitGroup
 }
 
 // New creates a server over the catalog.
@@ -68,9 +69,16 @@ func (s *Server) Listen(addr string) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		<-s.ctx.Done()
-		ln.Close()
+		err := ln.Close()
+		s.mu.Lock()
+		if s.lnErr == nil {
+			s.lnErr = err
+		}
+		s.mu.Unlock()
 	}()
 	s.wg.Add(1)
 	go func() {
@@ -102,11 +110,13 @@ func (s *Server) Addr() string {
 
 // Close stops accepting, aborts running queries, and waits for in-flight
 // connections. Closing the listener is delegated to the context watcher
-// that Listen installs.
+// that Listen installs; its error is propagated here.
 func (s *Server) Close() error {
 	s.cancel()
 	s.wg.Wait()
-	return nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lnErr
 }
 
 // session is per-connection state.
@@ -121,6 +131,18 @@ type session struct {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	// Unblock the read loop when the server shuts down: without this,
+	// Close would wait forever on a handler parked in sc.Scan for an
+	// idle client. Closing a net.Conn twice is safe.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-s.ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
 	sess := &session{srv: s, partitions: 1, workers: 1}
 	defer func() {
 		if sess.streamer != nil {

@@ -241,3 +241,34 @@ func TestAlgebraCommand(t *testing.T) {
 		t.Error("bad algebra query accepted")
 	}
 }
+
+// TestCloseUnblocksIdleConnections pins the shutdown liveness guarantee:
+// Close must not wait on connection handlers parked in the read loop for
+// clients that never hang up.
+func TestCloseUnblocksIdleConnections(t *testing.T) {
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: 0.001, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New("test-server", cat)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialServer(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The client is idle: it sends nothing, so the handler sits in
+	// sc.Scan. Close must still return promptly.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an idle client connection")
+	}
+}

@@ -137,7 +137,9 @@ func (m *Monitor) complete(source string) bool {
 // WaitComplete blocks until some source has streamed a complete dot file
 // plus at least one trace event, then waits a short settle period for
 // stragglers and returns the source address. It fails when ctx expires
-// first.
+// before any complete stream arrives; a source found before cancellation
+// wins and is returned (cancellation merely cuts the settle period
+// short).
 func (m *Monitor) WaitComplete(ctx context.Context) (string, error) {
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()

@@ -131,14 +131,22 @@ func (db *DB) Tables() []TableInfo {
 	out := make([]TableInfo, 0, len(names))
 	for _, n := range names {
 		rows := 0
-		if i := strings.IndexByte(n, '.'); i >= 0 {
-			if t, ok := db.cat.Table(n[:i], n[i+1:]); ok {
-				rows = t.Rows()
-			}
+		schema, bare := splitQualified(n)
+		if t, ok := db.cat.Table(schema, bare); ok {
+			rows = t.Rows()
 		}
 		out = append(out, TableInfo{Name: n, Rows: rows})
 	}
 	return out
+}
+
+// splitQualified resolves a table name into schema and bare name; names
+// without a schema prefix default to sys.
+func splitQualified(name string) (schema, bare string) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "sys", name
 }
 
 // execConfig is the per-call override of the DB execution defaults.
@@ -234,10 +242,12 @@ func (db *DB) Explain(query string, opts ...ExecOption) (string, error) {
 	return plan.String(), nil
 }
 
-// DumpCSV writes a catalog table as CSV with a header line. limit bounds
-// the row count (0 dumps everything).
+// DumpCSV writes a catalog table as CSV with a header line. table is a
+// bare name ("lineitem", resolved in the sys schema) or a qualified one
+// ("sys.lineitem"). limit bounds the row count (0 dumps everything).
 func (db *DB) DumpCSV(w io.Writer, table string, limit int) error {
-	t, ok := db.cat.Table("sys", table)
+	schema, name := splitQualified(table)
+	t, ok := db.cat.Table(schema, name)
 	if !ok {
 		names := make([]string, 0)
 		for _, ti := range db.Tables() {

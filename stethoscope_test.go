@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"stethoscope"
 )
@@ -138,5 +139,24 @@ func TestExecContextCancel(t *testing.T) {
 	// A live context still executes.
 	if _, err := db.Exec(context.Background(), figure1Query); err != nil {
 		t.Fatalf("Exec after cancel test: %v", err)
+	}
+}
+
+// TestMonitorCancelThenClose pins the documented Attach usage: cancel
+// the context, then Close the monitor (as every consumer's deferred
+// Close does). This used to panic with a double channel close.
+func TestMonitorCancelThenClose(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	mon, err := stethoscope.Attach(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	cancel()
+	time.Sleep(20 * time.Millisecond) // let the context watcher close the listener
+	if err := mon.Close(); err != nil {
+		t.Fatalf("Close after cancel: %v", err)
+	}
+	if err := mon.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }
