@@ -1,8 +1,13 @@
 GO ?= go
+SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: verify vet build test bench examples
+.PHONY: verify fmt vet build test race bench bench-smoke bench-record examples
 
-verify: vet build test
+verify: fmt vet build test race bench-smoke
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -13,8 +18,25 @@ build:
 test:
 	$(GO) test ./...
 
+# race mirrors the CI race job: the whole tree under the race detector,
+# including the 32-goroutine mixed-workload stress test.
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-smoke mirrors the CI bench-smoke job: every benchmark executes
+# at least once, with tests excluded.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-record mirrors the CI bench-record job: the experiment
+# benchmarks, 3 repetitions, converted to BENCH_<sha>.json.
+bench-record:
+	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec' \
+		-benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_$(SHA).json
+	@echo wrote BENCH_$(SHA).json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -72,7 +72,7 @@ type Analysis struct {
 // in-process equivalent of writing the dot + trace pair to disk and
 // reopening it offline.
 func Analyze(res *Result, opts ...AnalyzeOption) (*Analysis, error) {
-	return newAnalysis(dot.Export(res.plan), res.store, opts)
+	return newAnalysis(dot.Export(res.plan), res.store(), opts)
 }
 
 // OpenOffline opens a session from dot-file and trace-file content, the
@@ -98,14 +98,14 @@ func newAnalysis(g *dot.Graph, st *trace.Store, opts []AnalyzeOption) (*Analysis
 	if err != nil {
 		return nil, fmt.Errorf("stethoscope: %w", err)
 	}
-	a := &Analysis{traceView: traceView{store: st}, sess: sess, cfg: cfg}
+	a := &Analysis{traceView: traceView{tstore: st}, sess: sess, cfg: cfg}
 	a.recolor()
 	return a, nil
 }
 
 // recolor recomputes the coloring from the current configuration.
 func (a *Analysis) recolor() {
-	events := a.store.Events()
+	events := a.store().Events()
 	switch a.cfg.algo {
 	case ColorThreshold:
 		a.colors = core.Threshold(events, a.cfg.thresholdUs)

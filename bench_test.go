@@ -5,8 +5,10 @@
 package stethoscope
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -432,10 +434,50 @@ func BenchmarkE8UDPStream(b *testing.B) {
 	}
 	b.StopTimer()
 	// Drain what arrived (UDP may drop; throughput is the send side).
+	// Datagrams can still be in flight through the loopback stack when
+	// StopTimer runs, so drain with a short idle deadline — a bare
+	// default: would exit while packets are still arriving and
+	// undercount receipts.
 	for {
 		select {
 		case <-received:
-		default:
+		case <-time.After(50 * time.Millisecond):
+			return
+		}
+	}
+}
+
+// BenchmarkE8UDPStreamBatched is the coalesced counterpart: events
+// leave through a Batcher and multi-event EVTB datagrams — one syscall
+// per batch instead of per event.
+func BenchmarkE8UDPStreamBatched(b *testing.B) {
+	received := make(chan struct{}, 1<<20)
+	l, err := netproto.Listen("127.0.0.1:0", func(from string, m netproto.Msg) {
+		received <- struct{}{}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	s, err := netproto.Dial(l.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	batcher := profiler.NewBatcher(s, 64, 0)
+	defer batcher.Close()
+	e := profiler.Event{Seq: 1, State: profiler.StateDone, PC: 3, DurUs: 120,
+		Stmt: `X_5:bat[:oid] := algebra.thetaselect(X_1, "=", 1);`}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batcher.Emit(e)
+	}
+	batcher.Flush()
+	b.StopTimer()
+	for {
+		select {
+		case <-received:
+		case <-time.After(50 * time.Millisecond):
 			return
 		}
 	}
@@ -539,6 +581,146 @@ func BenchmarkE11Pruning(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mal.Prune(plan)
+	}
+}
+
+// --- Serving layer: plan cache and concurrent clients -----------------
+
+// cacheBenchQuery is compile-heavy relative to its optimized plan: the
+// 32 identical revenue expressions lower to 32 instruction chains
+// per partition, which CSE then collapses to one. A cold Exec pays for
+// compiling and optimizing all of them on every call; a cached Exec
+// runs only the deduplicated plan. This is the workload shape a plan
+// cache exists for (think prepared statements hammered by many clients).
+const cacheBenchQuery = `select l_orderkey,
+	l_extendedprice * (1 - l_discount) as r1,
+	l_extendedprice * (1 - l_discount) as r2,
+	l_extendedprice * (1 - l_discount) as r3,
+	l_extendedprice * (1 - l_discount) as r4,
+	l_extendedprice * (1 - l_discount) as r5,
+	l_extendedprice * (1 - l_discount) as r6,
+	l_extendedprice * (1 - l_discount) as r7,
+	l_extendedprice * (1 - l_discount) as r8,
+	l_extendedprice * (1 - l_discount) as r9,
+	l_extendedprice * (1 - l_discount) as r10,
+	l_extendedprice * (1 - l_discount) as r11,
+	l_extendedprice * (1 - l_discount) as r12,
+	l_extendedprice * (1 - l_discount) as r13,
+	l_extendedprice * (1 - l_discount) as r14,
+	l_extendedprice * (1 - l_discount) as r15,
+	l_extendedprice * (1 - l_discount) as r16,
+	l_extendedprice * (1 - l_discount) as r17,
+	l_extendedprice * (1 - l_discount) as r18,
+	l_extendedprice * (1 - l_discount) as r19,
+	l_extendedprice * (1 - l_discount) as r20,
+	l_extendedprice * (1 - l_discount) as r21,
+	l_extendedprice * (1 - l_discount) as r22,
+	l_extendedprice * (1 - l_discount) as r23,
+	l_extendedprice * (1 - l_discount) as r24,
+	l_extendedprice * (1 - l_discount) as r25,
+	l_extendedprice * (1 - l_discount) as r26,
+	l_extendedprice * (1 - l_discount) as r27,
+	l_extendedprice * (1 - l_discount) as r28,
+	l_extendedprice * (1 - l_discount) as r29,
+	l_extendedprice * (1 - l_discount) as r30,
+	l_extendedprice * (1 - l_discount) as r31,
+	l_extendedprice * (1 - l_discount) as r32
+	from lineitem where l_quantity > 48 and l_discount < 0.05`
+
+// BenchmarkPlanCacheHit compares one Exec that compiles from scratch
+// against one that serves the optimized plan from the shared cache,
+// at 128-way mitosis: the cached variant skips the whole
+// parse → bind → compile → optimize chain and must be at least
+// ~5× faster.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	ctx := context.Background()
+	open := func(b *testing.B, opts ...Option) *DB {
+		db, err := Open(append([]Option{WithScaleFactor(0.001)}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	b.Run("cold", func(b *testing.B) {
+		db := open(b, WithPlanCacheSize(0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(ctx, cacheBenchQuery, ExecPartitions(128)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		db := open(b)
+		if _, err := db.Exec(ctx, cacheBenchQuery, ExecPartitions(128)); err != nil {
+			b.Fatal(err) // warm the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Exec(ctx, cacheBenchQuery, ExecPartitions(128))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Stats.CacheHit {
+				b.Fatal("expected a plan-cache hit")
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentExec measures serving throughput at increasing
+// client parallelism: N goroutines drain a shared work queue of b.N
+// queries against one DB (shared engine, shared plan cache). ns/op is
+// wall time per completed query, so a multi-core runner should show
+// clients=16 completing more queries per second than clients=1.
+func BenchmarkConcurrentExec(b *testing.B) {
+	db, err := Open(WithScaleFactor(0.005))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	queries := []string{
+		paperQuery,
+		"select l_orderkey from lineitem where l_quantity > 30",
+		"select count(*) from lineitem",
+	}
+	for _, q := range queries {
+		if _, err := db.Exec(ctx, q); err != nil {
+			b.Fatal(err) // warm the plan cache
+		}
+	}
+	for _, clients := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			jobs := make(chan int)
+			errs := make(chan error, clients)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range jobs {
+						if _, err := db.Exec(ctx, queries[i%len(queries)]); err != nil {
+							select {
+							case errs <- err:
+							default:
+							}
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs <- i
+			}
+			close(jobs)
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+		})
 	}
 }
 

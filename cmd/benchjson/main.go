@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, for CI's perf-trajectory artifacts
+// (BENCH_<sha>.json). Each benchmark line becomes one record; repeated
+// runs of the same benchmark (-count=N) become repeated records so the
+// consumer can compute its own spread.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -count 3 -run '^$' . | go run ./cmd/benchjson > BENCH_abc123.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Document is the artifact schema.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and collects benchmark records.
+// Non-benchmark lines (PASS, ok, test logs) are skipped; the goos /
+// goarch / pkg / cpu headers are captured when present. Multiple
+// packages concatenated in one stream keep the last header seen.
+func Parse(r interface{ Read([]byte) (int, error) }) (Document, error) {
+	doc := Document{Benchmarks: []Record{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		rec, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, rec)
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkPlanCacheHit/cached-8   100   980067 ns/op   12 B/op   3 allocs/op
+func parseBenchLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0]}
+	runs, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Record{}, false
+	}
+	rec.Runs = runs
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			rec.NsPerOp = v
+		case "B/op":
+			rec.BytesPerOp = v
+		case "allocs/op":
+			rec.AllocsPerOp = v
+		case "MB/s":
+			rec.MBPerSec = v
+		}
+	}
+	if rec.NsPerOp == 0 {
+		return Record{}, false
+	}
+	return rec, true
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: stethoscope
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPlanCacheHit/cold-8         	     100	   4562891 ns/op
+BenchmarkPlanCacheHit/cached-8       	     100	    787722 ns/op	  12 B/op	       3 allocs/op
+BenchmarkPlanCacheHit/cached-8       	     100	    801122 ns/op
+some test log line
+PASS
+ok  	stethoscope	0.627s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "stethoscope" {
+		t.Fatalf("headers = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("records = %d, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[1]
+	if b.Name != "BenchmarkPlanCacheHit/cached-8" || b.Runs != 100 ||
+		b.NsPerOp != 787722 || b.BytesPerOp != 12 || b.AllocsPerOp != 3 {
+		t.Fatalf("record = %+v", b)
+	}
+	// -count=3 repeats stay separate records.
+	if doc.Benchmarks[2].NsPerOp != 801122 {
+		t.Fatalf("repeat record = %+v", doc.Benchmarks[2])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	doc, err := Parse(strings.NewReader("BenchmarkBroken abc def\nBenchmarkShort 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("malformed lines produced %d records", len(doc.Benchmarks))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	"stethoscope"
 )
@@ -52,7 +53,12 @@ func main() {
 		log.Fatal("anomaly detector failed to flag the sequential run")
 	}
 	if stethoscope.SequentialAnomaly(parallel, expectedWorkers) {
-		log.Fatal("anomaly detector misfired on the parallel run")
+		// With one schedulable CPU the worker pool genuinely serializes —
+		// the detector is then telling the truth, not misfiring.
+		if runtime.GOMAXPROCS(0) > 1 {
+			log.Fatal("anomaly detector misfired on the parallel run")
+		}
+		fmt.Println("note: single-CPU host — the parallel run serialized too, as the detector reports")
 	}
 	fmt.Printf("parallel run used %d threads (parallelism factor %.2f vs %.2f sequential)\n",
 		parallel.Threads, parallel.Parallelism, sequential.Parallelism)

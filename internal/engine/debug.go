@@ -36,9 +36,13 @@ func NewDebugger(eng *Engine, plan *mal.Plan, prof *profiler.Profiler) (*Debugge
 	if prof != nil {
 		prof.Reset()
 	}
+	ctx, err := eng.newContext(plan)
+	if err != nil {
+		return nil, err
+	}
 	return &Debugger{
 		eng:          eng,
-		ctx:          &Context{Plan: plan, eng: eng, vals: make([]mal.Value, len(plan.Vars))},
+		ctx:          ctx,
 		plan:         plan,
 		prof:         prof,
 		breakPCs:     map[int]bool{},

@@ -36,8 +36,20 @@ type Kernel func(ctx *Context, in *mal.Instr) error
 
 // Engine holds the catalog and the kernel registry. One Engine serves
 // many concurrent queries; per-query state lives in Context.
+//
+// Reentrancy contract: Run/RunContext may be called concurrently from
+// any number of goroutines. Per-run state (variable slots, result set)
+// lives in a private Context; the catalog is read-only during execution
+// and the kernel registry is lock-protected, so concurrent runs share
+// no mutable state. The caller's obligations are: a *mal.Plan may be
+// shared between concurrent runs (kernels never mutate plans) but must
+// not be rewritten while any run uses it, and a profiler.Profiler
+// instance must not be shared between concurrent runs (RunContext
+// resets its clock and sequence numbering).
 type Engine struct {
-	cat      *storage.Catalog
+	cat *storage.Catalog
+
+	regMu    sync.RWMutex
 	registry map[string]Kernel
 }
 
@@ -54,9 +66,30 @@ func New(cat *storage.Catalog) *Engine {
 func (e *Engine) Catalog() *storage.Catalog { return e.cat }
 
 // Register installs a kernel for "module.function". Later registrations
-// override earlier ones, which tests use for fault injection.
+// override earlier ones, which tests use for fault injection. Safe to
+// call while queries run, but each run resolves its kernels at start,
+// so a swap only affects runs that begin after it.
 func (e *Engine) Register(module, function string, k Kernel) {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	e.registry[module+"."+function] = k
+}
+
+// resolve maps every instruction to its kernel under one registry lock.
+// Doing this once per run keeps the per-instruction hot path free of
+// lock traffic and of the "module.function" string concatenation.
+func (e *Engine) resolve(plan *mal.Plan) ([]Kernel, error) {
+	kernels := make([]Kernel, len(plan.Instrs))
+	e.regMu.RLock()
+	defer e.regMu.RUnlock()
+	for i, in := range plan.Instrs {
+		k, ok := e.registry[in.Name()]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown MAL operator %s at pc=%d", in.Name(), in.PC)
+		}
+		kernels[i] = k
+	}
+	return kernels, nil
 }
 
 // Options controls one plan execution.
@@ -68,11 +101,12 @@ type Options struct {
 	Profiler *profiler.Profiler
 }
 
-// Context is the per-execution state: the variable slots and the result
-// under construction.
+// Context is the per-execution state: the variable slots, the kernels
+// resolved for this run, and the result under construction.
 type Context struct {
 	Plan    *mal.Plan
 	eng     *Engine
+	kernels []Kernel // indexed by PC; resolved once per run
 	vals    []mal.Value
 	mu      sync.Mutex // guards results
 	results []*Result
@@ -181,17 +215,19 @@ func (e *Engine) Run(plan *mal.Plan, opt Options) (*Result, error) {
 // the dataflow scheduler from dispatching further work, and the context
 // error is returned.
 func (e *Engine) RunContext(cctx context.Context, plan *mal.Plan, opt Options) (*Result, error) {
-	if err := plan.Validate(); err != nil {
+	if err := plan.ValidateCached(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	if err := cctx.Err(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	ctx := &Context{Plan: plan, eng: e, vals: make([]mal.Value, len(plan.Vars))}
+	ctx, err := e.newContext(plan)
+	if err != nil {
+		return nil, err
+	}
 	if opt.Profiler != nil {
 		opt.Profiler.Reset()
 	}
-	var err error
 	if opt.Workers <= 1 {
 		err = e.runSequential(cctx, ctx, opt)
 	} else {
@@ -203,18 +239,25 @@ func (e *Engine) RunContext(cctx context.Context, plan *mal.Plan, opt Options) (
 	return ctx.final, nil
 }
 
+// newContext builds the per-run state: fresh variable slots and the
+// kernels resolved for every instruction.
+func (e *Engine) newContext(plan *mal.Plan) (*Context, error) {
+	kernels, err := e.resolve(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Plan: plan, eng: e, kernels: kernels, vals: make([]mal.Value, len(plan.Vars))}, nil
+}
+
 // exec runs one instruction on the given logical thread, with profiling.
 func (e *Engine) exec(ctx *Context, in *mal.Instr, thread int, prof *profiler.Profiler) error {
-	k, ok := e.registry[in.Name()]
-	if !ok {
-		return fmt.Errorf("engine: unknown MAL operator %s at pc=%d", in.Name(), in.PC)
-	}
-	var span *profiler.Span
+	k := ctx.kernels[in.PC]
+	var span profiler.Span
 	if prof != nil {
-		span = prof.Begin(in.PC, thread, in.Module, ctx.Plan.StmtString(in))
+		span = prof.Begin(in.PC, thread, in.Module, ctx.Plan.CachedStmt(in))
 	}
 	err := k(ctx, in)
-	if span != nil {
+	if prof != nil {
 		reads, writes, rss := ctx.accounting(in)
 		span.End(rss, reads, writes)
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -524,5 +525,61 @@ func TestInListExecution(t *testing.T) {
 	neg := runQ(t, "select l_orderkey from lineitem where l_shipmode not in ('MAIL', 'SHIP')", Options{}, 1)
 	if res.Rows()+neg.Rows() != sm.Len() {
 		t.Errorf("in + not in = %d, want %d", res.Rows()+neg.Rows(), sm.Len())
+	}
+}
+
+// TestConcurrentRunsShareEngineAndPlan exercises the reentrancy
+// contract: one engine executes one shared plan from many goroutines at
+// once (sequential and dataflow interleaved) while a test kernel is
+// re-registered, and every run must produce the same result. Run under
+// -race this is the engine-level half of the serving-layer guarantee.
+func TestConcurrentRunsShareEngineAndPlan(t *testing.T) {
+	eng := New(testCat)
+	plan := compileQ(t, "select l_tax from lineitem where l_partkey=1", 4)
+	want, err := eng.Run(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				workers := 1
+				if (g+i)%2 == 1 {
+					workers = 4
+				}
+				sink := &profiler.SliceSink{}
+				res, err := eng.Run(plan, Options{Workers: workers, Profiler: profiler.New(sink)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rows() != want.Rows() {
+					errs <- fmt.Errorf("run got %d rows, want %d", res.Rows(), want.Rows())
+					return
+				}
+				if len(sink.Events()) != 2*len(plan.Instrs) {
+					errs <- fmt.Errorf("trace has %d events, want %d", len(sink.Events()), 2*len(plan.Instrs))
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent fault-injection-style registration must not race with
+	// the executing goroutines.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 32; i++ {
+			eng.Register("language", "pass", kNop)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -161,11 +161,21 @@ func kMatPack(ctx *Context, in *mal.Instr) error {
 	if len(in.Args) == 0 {
 		return fmt.Errorf("pack of nothing")
 	}
+	// Size the output once: packing 64 partitions into a buffer sized
+	// for one would reallocate log-many times per pack on the hot path.
+	total := 0
+	for i := range in.Args {
+		b, err := ctx.bat(in, i)
+		if err != nil {
+			return err
+		}
+		total += b.Len()
+	}
 	first, err := ctx.bat(in, 0)
 	if err != nil {
 		return err
 	}
-	out := storage.New(first.Kind(), first.Len())
+	out := storage.New(first.Kind(), total)
 	for i := range in.Args {
 		b, err := ctx.bat(in, i)
 		if err != nil {

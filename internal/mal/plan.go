@@ -3,6 +3,7 @@ package mal
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Variable is a single-assignment MAL variable slot within a plan.
@@ -55,6 +56,16 @@ type Plan struct {
 	Query  string
 	Vars   []Variable
 	Instrs []*Instr
+
+	// stmts caches the rendered statement text per PC for the
+	// execution hot path; see CachedStmt.
+	stmtsOnce sync.Once
+	stmts     []string
+
+	// validateOnce memoizes Validate for finalized plans; see
+	// ValidateCached.
+	validateOnce sync.Once
+	validateErr  error
 }
 
 // NewPlan returns an empty plan for the given source query text.
@@ -266,6 +277,37 @@ func (p *Plan) StmtString(in *Instr) string {
 	}
 	b.WriteString(");")
 	return b.String()
+}
+
+// ValidateCached memoizes Validate. Like CachedStmt it is for
+// finalized plans only: the engine validates every execution, and
+// re-walking an immutable cached plan on each of them is pure hot-path
+// overhead. Rewriting a plan after the first call would serve a stale
+// verdict. Safe for concurrent use.
+func (p *Plan) ValidateCached() error {
+	p.validateOnce.Do(func() { p.validateErr = p.Validate() })
+	return p.validateErr
+}
+
+// CachedStmt returns StmtString(in) from a per-plan cache rendered once
+// on first use. The profiler attaches the statement text to every
+// start/done event, so re-executions of a cached plan would otherwise
+// re-render every instruction on every run; with the cache the text is
+// built once per plan lifetime. Only call this on finalized plans (the
+// engine does, post-Validate): rewriting a plan after the first
+// CachedStmt call would serve stale text. Safe for concurrent use.
+func (p *Plan) CachedStmt(in *Instr) string {
+	p.stmtsOnce.Do(func() {
+		s := make([]string, len(p.Instrs))
+		for i, instr := range p.Instrs {
+			s[i] = p.StmtString(instr)
+		}
+		p.stmts = s
+	})
+	if in.PC >= 0 && in.PC < len(p.stmts) {
+		return p.stmts[in.PC]
+	}
+	return p.StmtString(in)
 }
 
 // String renders the whole plan as a MAL listing wrapped in a

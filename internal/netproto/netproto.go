@@ -21,19 +21,21 @@ type MsgKind int
 
 // Message kinds.
 const (
-	MsgEvent    MsgKind = iota // one profiler event line
-	MsgDotBegin                // start of a dot file; payload = plan name
-	MsgDotLine                 // one dot file line
-	MsgDotEnd                  // end of a dot file
-	MsgHello                   // server announcement; payload = server name
+	MsgEvent      MsgKind = iota // one profiler event line
+	MsgDotBegin                  // start of a dot file; payload = plan name
+	MsgDotLine                   // one dot file line
+	MsgDotEnd                    // end of a dot file
+	MsgHello                     // server announcement; payload = server name
+	MsgEventBatch                // several event lines, newline-separated
 )
 
 var kindTags = map[MsgKind]string{
-	MsgEvent:    "EVT",
-	MsgDotBegin: "DOTB",
-	MsgDotLine:  "DOTL",
-	MsgDotEnd:   "DOTE",
-	MsgHello:    "HELO",
+	MsgEvent:      "EVT",
+	MsgDotBegin:   "DOTB",
+	MsgDotLine:    "DOTL",
+	MsgDotEnd:     "DOTE",
+	MsgHello:      "HELO",
+	MsgEventBatch: "EVTB",
 }
 
 var tagKinds = func() map[string]MsgKind {
@@ -100,6 +102,49 @@ func Dial(addr string) (*UDPStreamer, error) {
 // Emit implements profiler.Sink.
 func (u *UDPStreamer) Emit(e profiler.Event) {
 	u.send(Msg{Kind: MsgEvent, Payload: e.Marshal()})
+}
+
+// MaxDatagram bounds the payload of one coalesced datagram. It stays
+// well under the 65507-byte UDP maximum so the batch plus its tag never
+// needs IP fragmentation tuning on loopback or LAN paths.
+const MaxDatagram = 60 * 1024
+
+// EmitBatch implements profiler.BatchSink: events are marshaled and
+// packed greedily into as few EVTB datagrams as fit under MaxDatagram,
+// replacing one syscall per event with one per batch on the hot trace
+// path. An EVTB payload is the event lines joined by '\n'; the listener
+// transparently splits them back into MsgEvent deliveries.
+func (u *UDPStreamer) EmitBatch(evs []profiler.Event) {
+	packEvents(evs, func(payload string) {
+		u.send(Msg{Kind: MsgEventBatch, Payload: payload})
+	})
+}
+
+// packEvents marshals events and greedily packs them into payloads of
+// at most MaxDatagram bytes, calling emit once per payload.
+func packEvents(evs []profiler.Event, emit func(payload string)) {
+	var b strings.Builder
+	n := 0
+	flush := func() {
+		if n == 0 {
+			return
+		}
+		emit(b.String())
+		b.Reset()
+		n = 0
+	}
+	for _, e := range evs {
+		line := e.Marshal()
+		if n > 0 && b.Len()+1+len(line) > MaxDatagram {
+			flush()
+		}
+		if n > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(line)
+		n++
+	}
+	flush()
 }
 
 // Hello announces the server to the client.
@@ -187,6 +232,16 @@ func (l *Listener) loop(h Handler) {
 		m, err := Decode(buf[:n])
 		if err != nil {
 			continue // ignore malformed datagrams
+		}
+		if m.Kind == MsgEventBatch {
+			// Expand coalesced batches so handlers only ever see the
+			// per-event protocol.
+			for _, line := range strings.Split(m.Payload, "\n") {
+				if line != "" {
+					h(from.String(), Msg{Kind: MsgEvent, Payload: line})
+				}
+			}
+			continue
 		}
 		h(from.String(), m)
 	}

@@ -213,3 +213,93 @@ func TestListenerCloseIdempotent(t *testing.T) {
 		t.Fatalf("repeated Close: %v", err)
 	}
 }
+
+func TestEmitBatchCoalescesAndListenerExpands(t *testing.T) {
+	var mu sync.Mutex
+	var got []profiler.Event
+	l, err := Listen("127.0.0.1:0", func(from string, m Msg) {
+		if m.Kind != MsgEvent {
+			t.Errorf("listener surfaced kind %v; batches must arrive expanded", m.Kind)
+			return
+		}
+		e, err := profiler.UnmarshalEvent(m.Payload)
+		if err != nil {
+			t.Errorf("bad expanded event: %v", err)
+			return
+		}
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	s, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	batch := make([]profiler.Event, 50)
+	for i := range batch {
+		batch[i] = profiler.Event{Seq: int64(i), State: profiler.StateDone, PC: i,
+			Stmt: `X_5:bat[:oid] := algebra.thetaselect(X_1, "=", 1);`}
+	}
+	s.EmitBatch(batch)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == len(batch) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of %d batched events", n, len(batch))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, e := range got {
+		if e.Seq != int64(i) || e.PC != i {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestPackEventsSplitsOversizedBatches(t *testing.T) {
+	big := strings.Repeat("y", 2048)
+	evs := make([]profiler.Event, 100)
+	for i := range evs {
+		evs[i] = profiler.Event{Seq: int64(i), Stmt: big}
+	}
+	var payloads []string
+	packEvents(evs, func(p string) { payloads = append(payloads, p) })
+	if len(payloads) < 2 {
+		t.Fatalf("expected multiple datagrams, got %d", len(payloads))
+	}
+	total := 0
+	for _, p := range payloads {
+		if len(p) > MaxDatagram {
+			t.Fatalf("payload of %d bytes exceeds MaxDatagram", len(p))
+		}
+		for _, line := range strings.Split(p, "\n") {
+			e, err := profiler.UnmarshalEvent(line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Seq != int64(total) {
+				t.Fatalf("event %d packed out of order (seq %d)", total, e.Seq)
+			}
+			total++
+		}
+	}
+	if total != len(evs) {
+		t.Fatalf("packed %d events, want %d", total, len(evs))
+	}
+	// The empty batch emits nothing.
+	packEvents(nil, func(string) { t.Fatal("empty batch emitted a datagram") })
+}

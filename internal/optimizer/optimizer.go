@@ -40,6 +40,16 @@ func Default() Pipeline {
 	return Pipeline{Passes: []Pass{CSE{}, DeadCode{}}}
 }
 
+// Spec names the pipeline canonically, e.g. "cse,deadcode" — the
+// plan-cache key component describing which optimizer produced a plan.
+func (pl Pipeline) Spec() string {
+	names := make([]string, len(pl.Passes))
+	for i, p := range pl.Passes {
+		names[i] = strings.ToLower(p.Name())
+	}
+	return strings.Join(names, ",")
+}
+
 // Run applies the pipeline to a clone of p and returns the optimized plan.
 // The input plan is never mutated so Stethoscope can display both.
 func (pl Pipeline) Run(p *mal.Plan) (*mal.Plan, Stats, error) {

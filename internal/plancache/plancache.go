@@ -1,0 +1,166 @@
+// Package plancache implements the shared compiled-plan cache of the
+// serving layer: an LRU keyed by SQL text plus the compile options that
+// shape the emitted MAL (partition count, optimizer pipeline). Repeated
+// statements skip the whole parse → bind → compile → optimize chain —
+// MonetDB keeps the same structure per session in its MAL block cache;
+// here one cache is shared by every session of a DB so concurrent
+// clients warm it for each other.
+//
+// Cached plans are shared, not copied: a plan handed out by Get is
+// executed concurrently by many queries, so holders must treat it as
+// immutable (the engine only reads plans; optimizer passes run on
+// clones before insertion).
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"stethoscope/internal/mal"
+	"stethoscope/internal/optimizer"
+)
+
+// DefaultSize is the cache capacity the facade and the standalone
+// server use unless configured otherwise.
+const DefaultSize = 256
+
+// Key identifies one compiled plan. Two queries share a plan only when
+// every field matches.
+type Key struct {
+	// SQL is the statement text, byte for byte (no normalization —
+	// differing whitespace compiles twice, which is cheap and safe).
+	SQL string
+	// Partitions is the mitosis partition count compiled into the plan.
+	Partitions int
+	// Passes names the optimizer pipeline, e.g. "cse,deadcode".
+	Passes string
+}
+
+// Entry is a cached compilation: the optimized plan and what the
+// optimizer did to it.
+type Entry struct {
+	Plan *mal.Plan
+	Opt  optimizer.Stats
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits      int64 // Get calls that found the plan
+	Misses    int64 // Get calls that did not
+	Evictions int64 // entries displaced by capacity pressure
+	Len       int   // entries currently cached
+	Capacity  int   // maximum entries
+}
+
+// HitRate returns hits / (hits + misses), 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a fixed-capacity LRU over compiled plans. It is safe for
+// concurrent use by any number of sessions.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *slot
+	byKey     map[Key]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type slot struct {
+	key   Key
+	entry Entry
+}
+
+// New returns a cache holding up to capacity plans. Capacity < 1 is
+// clamped to 1; callers that want caching off should simply not consult
+// a cache.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Get looks the key up, promoting it to most recently used on a hit.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*slot).entry, true
+}
+
+// Put inserts or refreshes the entry, evicting the least recently used
+// plan when the cache is full.
+func (c *Cache) Put(k Key, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*slot).entry = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&slot{key: k, entry: e})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*slot).key)
+		c.evictions++
+	}
+}
+
+// Purge drops every entry; the hit/miss/eviction counters keep counting.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.byKey = make(map[Key]*list.Element, c.capacity)
+}
+
+// Len reports the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// Keys returns the cached keys from most to least recently used
+// (diagnostics and tests).
+func (c *Cache) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*slot).key)
+	}
+	return out
+}

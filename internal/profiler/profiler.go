@@ -129,7 +129,10 @@ func (p *Profiler) SetClock(now func() time.Time) {
 	p.start = now()
 }
 
-// Span tracks one instruction execution between Begin and End.
+// Span tracks one instruction execution between Begin and End. It is a
+// value, not a handle: the engine brackets millions of instructions per
+// second, and a heap-allocated span per instruction would dominate the
+// hot path's allocation profile.
 type Span struct {
 	p       *Profiler
 	pc      int
@@ -141,7 +144,7 @@ type Span struct {
 
 // Begin emits the start event for an instruction and returns a span to
 // close with End.
-func (p *Profiler) Begin(pc, thread int, module, stmt string) *Span {
+func (p *Profiler) Begin(pc, thread int, module, stmt string) Span {
 	p.mu.Lock()
 	started := p.now()
 	e := Event{
@@ -155,12 +158,12 @@ func (p *Profiler) Begin(pc, thread int, module, stmt string) *Span {
 	p.seq++
 	p.emitLocked(e, module)
 	p.mu.Unlock()
-	return &Span{p: p, pc: pc, thread: thread, stmt: stmt, module: module, started: started}
+	return Span{p: p, pc: pc, thread: thread, stmt: stmt, module: module, started: started}
 }
 
 // End emits the done event with the measured duration and the supplied
 // resource accounting.
-func (s *Span) End(rssKB, reads, writes int64) {
+func (s Span) End(rssKB, reads, writes int64) {
 	p := s.p
 	p.mu.Lock()
 	nowT := p.now()
@@ -190,6 +193,156 @@ func (p *Profiler) emitLocked(e Event, module string) {
 	}
 }
 
+// OwnedSliceSink is a SliceSink without locking, for the common
+// one-profiler-per-run shape: a Profiler serializes all Emit calls
+// under its own mutex, so a sink attached to exactly one profiler and
+// read only after the run completes needs no lock of its own. Do NOT
+// share an OwnedSliceSink between profilers or read it mid-run.
+type OwnedSliceSink struct {
+	events []Event
+}
+
+// NewOwnedSliceSink preallocates for hint events.
+func NewOwnedSliceSink(hint int) *OwnedSliceSink {
+	if hint < 0 {
+		hint = 0
+	}
+	return &OwnedSliceSink{events: make([]Event, 0, hint)}
+}
+
+// Emit implements Sink.
+func (s *OwnedSliceSink) Emit(e Event) { s.events = append(s.events, e) }
+
+// Take hands the accumulated events over and resets the sink. Only call
+// after the profiled run has completed.
+func (s *OwnedSliceSink) Take() []Event {
+	evs := s.events
+	s.events = nil
+	return evs
+}
+
+// BatchSink consumes events many at a time — one lock acquisition, one
+// write, or one datagram per batch instead of per event. The slice is
+// only valid for the duration of the call: the Batcher reuses its
+// backing array, so implementations must copy what they keep.
+type BatchSink interface {
+	EmitBatch([]Event)
+}
+
+// Batcher is the hot-path event pipeline: a Sink that accumulates
+// events in a reusable buffer and hands them to a BatchSink in slices,
+// cutting the per-event allocation and syscall cost of the trace path.
+// A batch is delivered when it reaches the configured size, when Flush
+// is called (the server flushes at query end), and — when the batcher
+// was built with a flush interval — by a timer armed lazily whenever an
+// event lands in an empty buffer, so a stalled query still streams
+// while an idle batcher costs nothing. It is safe for concurrent use by
+// the dataflow workers; event order is preserved.
+type Batcher struct {
+	sink       BatchSink
+	size       int
+	flushEvery time.Duration
+
+	mu    sync.Mutex
+	buf   []Event
+	timer *time.Timer // nil when no flush interval was configured
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// DefaultBatchSize is the batch size used when NewBatcher is given a
+// non-positive one.
+const DefaultBatchSize = 64
+
+// NewBatcher wraps sink. batchSize <= 0 selects DefaultBatchSize.
+// flushEvery > 0 enables the lazy flush timer; 0 means batches are
+// delivered only on size and explicit Flush/Close.
+func NewBatcher(sink BatchSink, batchSize int, flushEvery time.Duration) *Batcher {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	b := &Batcher{
+		sink:       sink,
+		size:       batchSize,
+		flushEvery: flushEvery,
+		buf:        make([]Event, 0, batchSize),
+		done:       make(chan struct{}),
+	}
+	if flushEvery > 0 {
+		b.timer = time.NewTimer(flushEvery)
+		if !b.timer.Stop() {
+			<-b.timer.C
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			for {
+				select {
+				case <-b.timer.C:
+					// A spurious early flush (timer raced a Reset) only
+					// delivers a non-empty buffer, so it is harmless.
+					b.Flush()
+				case <-b.done:
+					return
+				}
+			}
+		}()
+	}
+	return b
+}
+
+// Emit implements Sink.
+func (b *Batcher) Emit(e Event) {
+	b.mu.Lock()
+	if len(b.buf) == 0 && b.timer != nil {
+		// First event into an empty buffer arms the flush deadline.
+		b.timer.Reset(b.flushEvery)
+	}
+	b.buf = append(b.buf, e)
+	if len(b.buf) >= b.size {
+		b.deliverLocked()
+	}
+	b.mu.Unlock()
+}
+
+// deliverLocked hands the pending batch to the sink and resets the
+// buffer for reuse. Delivery happens under the batcher lock so batches
+// arrive at the sink in event order.
+func (b *Batcher) deliverLocked() {
+	if len(b.buf) == 0 {
+		return
+	}
+	b.sink.EmitBatch(b.buf)
+	b.buf = b.buf[:0]
+}
+
+// Flush delivers any pending events immediately.
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	b.deliverLocked()
+	b.mu.Unlock()
+}
+
+// Pending reports how many events await delivery (tests, monitoring).
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Close stops the background flusher and delivers the final batch. It
+// is idempotent; the batcher must not be used after Close.
+func (b *Batcher) Close() error {
+	b.closeOnce.Do(func() {
+		close(b.done)
+		b.wg.Wait()
+		b.Flush()
+	})
+	return nil
+}
+
 // RingBuffer is a bounded in-memory sink: the online mode's sampling
 // buffer (paper §4.2: "as the trace file grows in size, its content is
 // sampled in a buffer"). When full, the oldest events are dropped.
@@ -217,6 +370,24 @@ func (r *RingBuffer) Emit(e Event) {
 	if r.next == len(r.buf) {
 		r.next = 0
 		r.full = true
+	}
+}
+
+// EmitBatch implements BatchSink with one lock acquisition per batch.
+func (r *RingBuffer) EmitBatch(evs []Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Only the last len(buf) events of the batch can survive.
+	if len(evs) > len(r.buf) {
+		evs = evs[len(evs)-len(r.buf):]
+	}
+	for _, e := range evs {
+		r.buf[r.next] = e
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+			r.full = true
+		}
 	}
 }
 
@@ -264,6 +435,16 @@ func (s *WriterSink) Emit(e Event) {
 	s.w.WriteByte('\n')
 }
 
+// EmitBatch implements BatchSink: one lock acquisition per batch.
+func (s *WriterSink) EmitBatch(evs []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range evs {
+		s.w.WriteString(e.Marshal())
+		s.w.WriteByte('\n')
+	}
+}
+
 // Flush drains buffered output.
 func (s *WriterSink) Flush() error {
 	s.mu.Lock()
@@ -277,6 +458,15 @@ type SliceSink struct {
 	events []Event
 }
 
+// NewSliceSink returns a SliceSink preallocated for hint events, so an
+// execution with a known plan size appends without regrowth.
+func NewSliceSink(hint int) *SliceSink {
+	if hint < 0 {
+		hint = 0
+	}
+	return &SliceSink{events: make([]Event, 0, hint)}
+}
+
 // Emit implements Sink.
 func (s *SliceSink) Emit(e Event) {
 	s.mu.Lock()
@@ -284,9 +474,29 @@ func (s *SliceSink) Emit(e Event) {
 	s.events = append(s.events, e)
 }
 
+// EmitBatch implements BatchSink. The batch is copied, as the contract
+// requires.
+func (s *SliceSink) EmitBatch(evs []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, evs...)
+}
+
 // Events returns a copy of the accumulated events.
 func (s *SliceSink) Events() []Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]Event(nil), s.events...)
+}
+
+// Take hands the accumulated events over without copying and resets the
+// sink. The caller owns the returned slice; use it when the sink is
+// done receiving (e.g. after a run completes) to avoid duplicating a
+// full trace.
+func (s *SliceSink) Take() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs := s.events
+	s.events = nil
+	return evs
 }

@@ -3,6 +3,7 @@ package profiler
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -236,5 +237,159 @@ func TestConcurrentEmit(t *testing.T) {
 			t.Fatalf("duplicate seq %d", e.Seq)
 		}
 		seen[e.Seq] = true
+	}
+}
+
+// recordingBatchSink copies every delivered batch and counts deliveries.
+type recordingBatchSink struct {
+	mu      sync.Mutex
+	events  []Event
+	batches int
+}
+
+func (s *recordingBatchSink) EmitBatch(evs []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, evs...)
+	s.batches++
+}
+
+func (s *recordingBatchSink) snapshot() ([]Event, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...), s.batches
+}
+
+func TestBatcherDeliversOnSize(t *testing.T) {
+	sink := &recordingBatchSink{}
+	b := NewBatcher(sink, 4, 0)
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		b.Emit(Event{Seq: int64(i)})
+	}
+	evs, batches := sink.snapshot()
+	if len(evs) != 8 || batches != 2 {
+		t.Fatalf("delivered %d events in %d batches, want 8 in 2", len(evs), batches)
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", b.Pending())
+	}
+	b.Flush()
+	evs, batches = sink.snapshot()
+	if len(evs) != 10 || batches != 3 {
+		t.Fatalf("after flush: %d events in %d batches", len(evs), batches)
+	}
+	// Order preserved.
+	for i, e := range evs {
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestBatcherCloseDeliversTail(t *testing.T) {
+	sink := &recordingBatchSink{}
+	b := NewBatcher(sink, 100, 0)
+	b.Emit(Event{Seq: 7})
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	evs, _ := sink.snapshot()
+	if len(evs) != 1 || evs[0].Seq != 7 {
+		t.Fatalf("tail not delivered: %v", evs)
+	}
+}
+
+func TestBatcherPeriodicFlush(t *testing.T) {
+	sink := &recordingBatchSink{}
+	b := NewBatcher(sink, 1<<20, time.Millisecond)
+	defer b.Close()
+	b.Emit(Event{Seq: 1})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if evs, _ := sink.snapshot(); len(evs) == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic flush never delivered the event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBatcherConcurrentEmitters(t *testing.T) {
+	sink := &recordingBatchSink{}
+	b := NewBatcher(sink, 16, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Emit(Event{Seq: int64(w*100 + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Close()
+	evs, _ := sink.snapshot()
+	if len(evs) != 800 {
+		t.Fatalf("events = %d, want 800", len(evs))
+	}
+	seen := map[int64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestRingBufferEmitBatch(t *testing.T) {
+	r := NewRingBuffer(4)
+	batch := make([]Event, 10)
+	for i := range batch {
+		batch[i] = Event{Seq: int64(i)}
+	}
+	r.EmitBatch(batch)
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if e.Seq != int64(6+i) {
+			t.Fatalf("ring[%d].Seq = %d, want %d (oldest-first tail)", i, e.Seq, 6+i)
+		}
+	}
+	// Mixing batch and single emits keeps rotation consistent.
+	r.Emit(Event{Seq: 10})
+	snap = r.Snapshot()
+	if snap[len(snap)-1].Seq != 10 {
+		t.Fatalf("tail after single emit = %d", snap[len(snap)-1].Seq)
+	}
+}
+
+func TestWriterSinkEmitBatch(t *testing.T) {
+	var sb strings.Builder
+	s := NewWriterSink(&sb)
+	s.EmitBatch([]Event{{Seq: 0, PC: 1}, {Seq: 1, PC: 2}})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, l := range lines {
+		e, err := UnmarshalEvent(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != int64(i) {
+			t.Fatalf("line %d has seq %d", i, e.Seq)
+		}
 	}
 }

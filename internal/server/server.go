@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"stethoscope/internal/algebra"
 	"stethoscope/internal/compiler"
@@ -23,15 +24,27 @@ import (
 	"stethoscope/internal/mal"
 	"stethoscope/internal/netproto"
 	"stethoscope/internal/optimizer"
+	"stethoscope/internal/plancache"
 	"stethoscope/internal/profiler"
 	"stethoscope/internal/sql"
 	"stethoscope/internal/storage"
 )
 
-// Server wraps an engine behind the TCP command protocol.
+// DefaultPlanCacheSize is the compiled-plan cache capacity a standalone
+// server creates when Config.Cache is nil.
+const DefaultPlanCacheSize = plancache.DefaultSize
+
+// Server wraps an engine behind the TCP command protocol. Sessions run
+// concurrently — each accepted connection gets its own goroutine and
+// its own execution settings — against the shared engine and the shared
+// compiled-plan cache, so one client's statements warm the cache for
+// every other client.
 type Server struct {
-	Name string
-	eng  *engine.Engine
+	Name     string
+	eng      *engine.Engine
+	cache    *plancache.Cache
+	pipeline optimizer.Pipeline
+	passSpec string
 
 	// ctx is the server lifetime: queries execute under it, so Close (or
 	// cancellation of the parent context) aborts in-flight executions.
@@ -44,6 +57,28 @@ type Server struct {
 	wg    sync.WaitGroup
 }
 
+// Config customizes what a server shares. Zero values select private
+// defaults, which is what standalone mserver processes want; the facade
+// injects its own engine, cache, and pipeline so in-process Exec
+// callers and TCP sessions serve from the same compiled-plan state.
+type Config struct {
+	// Engine executes queries; nil builds a fresh engine over the
+	// catalog.
+	Engine *engine.Engine
+	// Cache is the shared compiled-plan cache; nil creates a private
+	// cache of DefaultPlanCacheSize entries unless NoCache is set.
+	Cache *plancache.Cache
+	// NoCache disables plan caching entirely (every statement compiles
+	// from scratch).
+	NoCache bool
+	// Pipeline is the optimizer pipeline; nil selects
+	// optimizer.Default().
+	Pipeline *optimizer.Pipeline
+	// PassSpec is the pipeline's cache-key component; empty derives it
+	// from the pipeline (Pipeline.Spec).
+	PassSpec string
+}
+
 // New creates a server over the catalog.
 func New(name string, cat *storage.Catalog) *Server {
 	return NewContext(context.Background(), name, cat)
@@ -52,8 +87,41 @@ func New(name string, cat *storage.Catalog) *Server {
 // NewContext creates a server whose lifetime is bounded by ctx: when ctx
 // is canceled the listener shuts down and running queries are aborted.
 func NewContext(ctx context.Context, name string, cat *storage.Catalog) *Server {
+	return NewWithConfig(ctx, name, cat, Config{})
+}
+
+// NewWithConfig is NewContext with shared components injected; see
+// Config.
+func NewWithConfig(ctx context.Context, name string, cat *storage.Catalog, cfg Config) *Server {
 	ctx, cancel := context.WithCancel(ctx)
-	return &Server{Name: name, eng: engine.New(cat), ctx: ctx, cancel: cancel}
+	s := &Server{Name: name, ctx: ctx, cancel: cancel}
+	s.eng = cfg.Engine
+	if s.eng == nil {
+		s.eng = engine.New(cat)
+	}
+	s.cache = cfg.Cache
+	if s.cache == nil && !cfg.NoCache {
+		s.cache = plancache.New(DefaultPlanCacheSize)
+	}
+	if cfg.Pipeline != nil {
+		s.pipeline = *cfg.Pipeline
+	} else {
+		s.pipeline = optimizer.Default()
+	}
+	s.passSpec = cfg.PassSpec
+	if s.passSpec == "" {
+		s.passSpec = s.pipeline.Spec()
+	}
+	return s
+}
+
+// CacheStats snapshots the shared plan cache's counters (zero when
+// caching is disabled).
+func (s *Server) CacheStats() plancache.Stats {
+	if s.cache == nil {
+		return plancache.Stats{}
+	}
+	return s.cache.Stats()
 }
 
 // Engine exposes the underlying engine (examples drive it directly).
@@ -119,14 +187,38 @@ func (s *Server) Close() error {
 	return s.lnErr
 }
 
-// session is per-connection state.
+// session is per-connection state: execution settings, filter, and the
+// profiler stream are isolated per client; the engine and the plan
+// cache are shared with every other session.
 type session struct {
 	srv        *Server
 	partitions int
 	workers    int
 	filter     profiler.Filter
 	streamer   *netproto.UDPStreamer
+	batcher    *profiler.Batcher
 	prof       *profiler.Profiler
+}
+
+// traceBatch configures the per-session event batching on the UDP
+// trace path: events coalesce into multi-event datagrams of up to
+// traceBatchSize events, with a periodic flush so a stalled query still
+// streams.
+const (
+	traceBatchSize  = 64
+	traceFlushEvery = 2 * time.Millisecond
+)
+
+// closeStream tears the session's trace stream down in pipeline order.
+func (sess *session) closeStream() {
+	if sess.batcher != nil {
+		sess.batcher.Close()
+		sess.batcher = nil
+	}
+	if sess.streamer != nil {
+		sess.streamer.Close()
+		sess.streamer = nil
+	}
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -144,11 +236,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}()
 	sess := &session{srv: s, partitions: 1, workers: 1}
-	defer func() {
-		if sess.streamer != nil {
-			sess.streamer.Close()
-		}
-	}()
+	defer func() { sess.closeStream() }()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	w := bufio.NewWriter(conn)
@@ -189,6 +277,12 @@ func (sess *session) dispatch(w *bufio.Writer, line string) {
 		sess.cmdDot(w, rest)
 	case "QUERY":
 		sess.cmdQuery(w, rest)
+	case "STATS":
+		st := sess.srv.CacheStats()
+		fmt.Fprintln(w, "ok")
+		fmt.Fprintf(w, "cache_hits=%d cache_misses=%d cache_evictions=%d cache_len=%d cache_cap=%d\n",
+			st.Hits, st.Misses, st.Evictions, st.Len, st.Capacity)
+		fmt.Fprintln(w, ".")
 	case "TABLES":
 		fmt.Fprintln(w, "ok")
 		for _, t := range sess.srv.eng.Catalog().TableNames() {
@@ -233,11 +327,12 @@ func (sess *session) cmdTrace(w *bufio.Writer, addr string) {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
 	}
-	if sess.streamer != nil {
-		sess.streamer.Close()
-	}
+	sess.closeStream()
 	sess.streamer = streamer
-	sess.prof = profiler.New(streamer)
+	// Events coalesce into multi-event datagrams on their way out — one
+	// syscall per batch instead of per event on the hot trace path.
+	sess.batcher = profiler.NewBatcher(streamer, traceBatchSize, traceFlushEvery)
+	sess.prof = profiler.New(sess.batcher)
 	sess.prof.SetFilter(sess.filter)
 	streamer.Hello(sess.srv.Name)
 	fmt.Fprintln(w, "ok tracing to "+addr)
@@ -295,13 +390,21 @@ func (sess *session) cmdFilter(w *bufio.Writer, rest string) {
 }
 
 // compile turns SQL into an optimized MAL plan under the session's
-// settings.
+// settings, consulting the server's shared plan cache first. Cached
+// plans are shared read-only between sessions executing concurrently.
 func (sess *session) compile(query string) (*mal.Plan, error) {
+	srv := sess.srv
+	key := plancache.Key{SQL: query, Partitions: sess.partitions, Passes: srv.passSpec}
+	if srv.cache != nil {
+		if e, ok := srv.cache.Get(key); ok {
+			return e.Plan, nil
+		}
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	tree, err := algebra.Bind(stmt, sess.srv.eng.Catalog())
+	tree, err := algebra.Bind(stmt, srv.eng.Catalog())
 	if err != nil {
 		return nil, err
 	}
@@ -309,9 +412,12 @@ func (sess *session) compile(query string) (*mal.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt, _, err := optimizer.Default().Run(plan)
+	opt, stats, err := srv.pipeline.Run(plan)
 	if err != nil {
 		return nil, err
+	}
+	if srv.cache != nil {
+		srv.cache.Put(key, plancache.Entry{Plan: opt, Opt: stats})
 	}
 	return opt, nil
 }
@@ -371,6 +477,11 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 		Workers:  sess.workers,
 		Profiler: sess.prof,
 	})
+	// Push the tail of the event batch out before answering, so the
+	// monitor sees the complete trace as soon as the client sees "ok".
+	if sess.batcher != nil {
+		sess.batcher.Flush()
+	}
 	if err != nil {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
@@ -453,7 +564,7 @@ func (c *Client) Command(line string) (string, []string, error) {
 		return status, nil, fmt.Errorf("server: %s", status)
 	}
 	cmd := strings.ToUpper(strings.Fields(line)[0])
-	if cmd != "EXPLAIN" && cmd != "ALGEBRA" && cmd != "DOT" && cmd != "QUERY" && cmd != "TABLES" {
+	if cmd != "EXPLAIN" && cmd != "ALGEBRA" && cmd != "DOT" && cmd != "QUERY" && cmd != "TABLES" && cmd != "STATS" {
 		return status, nil, nil
 	}
 	var payload []string

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -270,5 +272,91 @@ func TestCloseUnblocksIdleConnections(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Close hung on an idle client connection")
+	}
+}
+
+func TestStatsCommandAndSharedCache(t *testing.T) {
+	srv := startServer(t)
+	const q = "QUERY select l_tax from lineitem where l_partkey=1"
+
+	// Session one compiles (miss), session two hits the shared cache.
+	c1 := dialServer(t, srv)
+	if _, _, err := c1.Command(q); err != nil {
+		t.Fatal(err)
+	}
+	c2 := dialServer(t, srv)
+	if _, _, err := c2.Command(q); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.CacheStats()
+	if st.Hits < 1 || st.Misses < 1 {
+		t.Fatalf("shared cache not consulted across sessions: %+v", st)
+	}
+
+	_, payload, err := c2.Command("STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 1 || !strings.Contains(payload[0], "cache_hits=") {
+		t.Fatalf("STATS payload = %q", payload)
+	}
+
+	// Different partition settings must compile separately.
+	if _, _, err := c2.Command("SET partitions 4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.Command(q); err != nil {
+		t.Fatal(err)
+	}
+	if after := srv.CacheStats(); after.Misses != st.Misses+1 {
+		t.Fatalf("partition change should force a compile: before %+v after %+v", st, after)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	srv := startServer(t)
+	queries := []string{
+		"QUERY select l_tax from lineitem where l_partkey=1",
+		"QUERY select l_orderkey from lineitem where l_quantity > 30",
+		"QUERY select count(*) from lineitem",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := DialServer(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if g%2 == 1 {
+				if _, _, err := c.Command("SET workers 4"); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for i := 0; i < 5; i++ {
+				q := queries[(g+i)%len(queries)]
+				if _, rows, err := c.Command(q); err != nil {
+					errs <- err
+					return
+				} else if len(rows) == 0 {
+					errs <- fmt.Errorf("%s returned no rows", q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := srv.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("concurrent sessions never hit the shared cache: %+v", st)
 	}
 }

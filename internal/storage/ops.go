@@ -131,11 +131,30 @@ func compatible(k Kind, v Val) bool {
 // ThetaSelect scans b (restricted to the candidate oids in cands when
 // non-nil) and returns the oids of rows satisfying "row op v". This is
 // MAL's algebra.thetaselect.
+// maxSelectCap bounds how much a selection preallocates for its result.
+// Small inputs (mitosis partitions) get exactly-sized buffers — no
+// regrowth on the hot path; huge inputs with selective predicates must
+// not pin an input-sized buffer for a handful of OIDs, so beyond the
+// bound the result grows normally from this starting capacity.
+const maxSelectCap = 1 << 16
+
+// selectCap sizes a selection's result buffer.
+func selectCap(b, cands *BAT) int {
+	n := b.Len()
+	if cands != nil {
+		n = cands.Len()
+	}
+	if n > maxSelectCap {
+		n = maxSelectCap
+	}
+	return n
+}
+
 func ThetaSelect(b *BAT, op CmpOp, v Val, cands *BAT) (*BAT, error) {
 	if !compatible(b.kind, v) {
 		return nil, fmt.Errorf("storage: thetaselect %s against %s operand", b.kind, v.Kind)
 	}
-	out := New(OID, 0)
+	out := New(OID, selectCap(b, cands))
 	test := func(c int) bool {
 		switch op {
 		case EQ:
@@ -181,7 +200,7 @@ func RangeSelect(b *BAT, lo, hi Val, loInc, hiInc bool, cands *BAT) (*BAT, error
 	if !compatible(b.kind, lo) || !compatible(b.kind, hi) {
 		return nil, fmt.Errorf("storage: select bounds %s/%s against %s column", lo.Kind, hi.Kind, b.kind)
 	}
-	out := New(OID, 0)
+	out := New(OID, selectCap(b, cands))
 	ok := func(i int) bool {
 		cl := b.cmp(i, lo)
 		if cl < 0 || (cl == 0 && !loInc) {
@@ -228,16 +247,24 @@ func Project(oids, tail *BAT) (*BAT, error) {
 		if oid < 0 || int(oid) >= n {
 			return nil, fmt.Errorf("storage: project oid %d out of range 0..%d", oid, n-1)
 		}
-		i := int(oid)
-		switch {
-		case tail.kind.usesInts():
-			out.AppendInt(tail.ints[i])
-		case tail.kind == Flt:
-			out.AppendFlt(tail.flts[i])
-		case tail.kind == Str:
-			out.AppendStr(tail.strs[i])
-		default:
-			out.AppendBool(tail.bools[i])
+	}
+	// Typed loops: one kind dispatch per column, not per row.
+	switch {
+	case tail.kind.usesInts():
+		for _, oid := range oids.ints {
+			out.ints = append(out.ints, tail.ints[oid])
+		}
+	case tail.kind == Flt:
+		for _, oid := range oids.ints {
+			out.flts = append(out.flts, tail.flts[oid])
+		}
+	case tail.kind == Str:
+		for _, oid := range oids.ints {
+			out.strs = append(out.strs, tail.strs[oid])
+		}
+	default:
+		for _, oid := range oids.ints {
+			out.bools = append(out.bools, tail.bools[oid])
 		}
 	}
 	return out, nil

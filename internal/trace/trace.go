@@ -16,19 +16,89 @@ import (
 	"stethoscope/internal/profiler"
 )
 
-// Store holds an ordered trace with per-pc indexes.
+// Store holds an ordered trace with per-pc indexes. Traces produced by
+// executing a plan have small dense PCs (0..n-1), so the index is a
+// slice keyed by pc; traces loaded from arbitrary files fall back to a
+// map when their PCs are sparse or negative.
 type Store struct {
 	events []profiler.Event
-	byPC   map[int][]int // indexes into events
+	dense  [][]int       // pc index; nil when the sparse fallback is active
+	sparse map[int][]int // fallback index for sparse/negative PCs
+	pcs    []int         // distinct pcs (ascending on the dense path)
 }
 
 // FromEvents builds a store from in-memory events (online mode's buffer).
 func FromEvents(events []profiler.Event) *Store {
-	s := &Store{events: append([]profiler.Event(nil), events...), byPC: map[int][]int{}}
-	for i, e := range s.events {
-		s.byPC[e.PC] = append(s.byPC[e.PC], i)
+	return FromEventsOwned(append([]profiler.Event(nil), events...))
+}
+
+// FromEventsOwned builds a store taking ownership of the slice — no
+// copy, so the hot Exec path can hand a full trace over for free. The
+// caller must not modify events afterwards.
+func FromEventsOwned(events []profiler.Event) *Store {
+	s := &Store{events: events}
+	maxPC, dense := -1, true
+	for _, e := range events {
+		if e.PC < 0 {
+			dense = false
+			break
+		}
+		if e.PC > maxPC {
+			maxPC = e.PC
+		}
+	}
+	if dense && maxPC >= 8*len(events)+1024 {
+		dense = false // pathological pc range; don't size a slice by it
+	}
+	if !dense {
+		s.sparse = make(map[int][]int, len(events)/2+1)
+		for i, e := range events {
+			s.sparse[e.PC] = append(s.sparse[e.PC], i)
+		}
+		s.pcs = make([]int, 0, len(s.sparse))
+		for pc := range s.sparse {
+			s.pcs = append(s.pcs, pc)
+		}
+		sortInts(s.pcs)
+		return s
+	}
+	// Dense path: group indices by pc in two passes over one shared
+	// backing array — appending into per-pc slices directly would cost
+	// one small allocation per distinct PC (thousands per plan).
+	counts := make([]int, maxPC+1)
+	npcs := 0
+	for _, e := range events {
+		if counts[e.PC] == 0 {
+			npcs++
+		}
+		counts[e.PC]++
+	}
+	s.dense = make([][]int, maxPC+1)
+	s.pcs = make([]int, 0, npcs)
+	backing := make([]int, 0, len(events))
+	for pc, n := range counts {
+		if n == 0 {
+			continue
+		}
+		s.dense[pc] = backing[len(backing) : len(backing) : len(backing)+n]
+		backing = backing[:len(backing)+n]
+		s.pcs = append(s.pcs, pc)
+	}
+	for i, e := range events {
+		s.dense[e.PC] = append(s.dense[e.PC], i)
 	}
 	return s
+}
+
+// idxsOf returns the event indexes of one pc, in trace order.
+func (s *Store) idxsOf(pc int) []int {
+	if s.dense != nil {
+		if pc < 0 || pc >= len(s.dense) {
+			return nil
+		}
+		return s.dense[pc]
+	}
+	return s.sparse[pc]
 }
 
 // Load parses a trace file: one marshaled event per line, blank lines and
@@ -70,7 +140,7 @@ func (s *Store) At(i int) profiler.Event { return s.events[i] }
 
 // ByPC returns the events of one instruction, in trace order.
 func (s *Store) ByPC(pc int) []profiler.Event {
-	idxs := s.byPC[pc]
+	idxs := s.idxsOf(pc)
 	out := make([]profiler.Event, len(idxs))
 	for i, idx := range idxs {
 		out[i] = s.events[idx]
@@ -78,13 +148,9 @@ func (s *Store) ByPC(pc int) []profiler.Event {
 	return out
 }
 
-// PCs returns the distinct program counters present, unordered.
+// PCs returns the distinct program counters present.
 func (s *Store) PCs() []int {
-	out := make([]int, 0, len(s.byPC))
-	for pc := range s.byPC {
-		out = append(out, pc)
-	}
-	return out
+	return append([]int(nil), s.pcs...)
 }
 
 // DurationUs returns the summed execution time of an instruction across
@@ -92,7 +158,7 @@ func (s *Store) PCs() []int {
 // defensive for replayed traces).
 func (s *Store) DurationUs(pc int) int64 {
 	var total int64
-	for _, i := range s.byPC[pc] {
+	for _, i := range s.idxsOf(pc) {
 		if s.events[i].State == profiler.StateDone {
 			total += s.events[i].DurUs
 		}
@@ -115,7 +181,7 @@ type Mapping struct {
 // MapToGraph resolves every traced pc against the graph.
 func MapToGraph(s *Store, g *dot.Graph) Mapping {
 	m := Mapping{NodeOf: map[int]string{}}
-	for pc := range s.byPC {
+	for _, pc := range s.pcs {
 		id := dot.NodeID(pc)
 		node, ok := g.Node(id)
 		if !ok {
@@ -124,7 +190,7 @@ func MapToGraph(s *Store, g *dot.Graph) Mapping {
 		}
 		m.NodeOf[pc] = id
 		stmt := ""
-		for _, i := range s.byPC[pc] {
+		for _, i := range s.idxsOf(pc) {
 			if s.events[i].Stmt != "" {
 				stmt = s.events[i].Stmt
 				break

@@ -3,6 +3,7 @@ package stethoscope
 import (
 	"bufio"
 	"io"
+	"sync"
 	"time"
 
 	"stethoscope/internal/core"
@@ -14,42 +15,58 @@ import (
 )
 
 // traceView provides the trace-derived reports shared by Result (fresh
-// executions) and Analysis (sessions over dot + trace content).
+// executions) and Analysis (sessions over dot + trace content). The
+// per-pc trace index is built lazily on first use: a serving workload
+// that executes thousands of queries and only reads rows should not pay
+// for indexing traces it never analyzes.
 type traceView struct {
-	store *trace.Store
+	mu     sync.Mutex
+	events []Event      // pending events when the store is built lazily
+	tstore *trace.Store // built on first store() call (or set directly)
+}
+
+// store returns the trace store, building it on first use.
+func (t *traceView) store() *trace.Store {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tstore == nil {
+		t.tstore = trace.FromEventsOwned(t.events)
+		t.events = nil
+	}
+	return t.tstore
 }
 
 // Events returns the profiler events in trace order.
-func (t traceView) Events() []Event { return t.store.Events() }
+func (t *traceView) Events() []Event { return t.store().Events() }
 
 // TraceLen returns the number of trace events.
-func (t traceView) TraceLen() int { return t.store.Len() }
+func (t *traceView) TraceLen() int { return t.store().Len() }
 
 // Costly returns the k slowest instructions — "where the time went".
-func (t traceView) Costly(k int) []CostlyInstr { return core.TopCostly(t.store, k) }
+func (t *traceView) Costly(k int) []CostlyInstr { return core.TopCostly(t.store(), k) }
 
 // Utilization summarizes multi-core usage (threads used, parallelism
 // factor, per-thread busy time).
-func (t traceView) Utilization() Utilization { return core.Utilize(t.store) }
+func (t *traceView) Utilization() Utilization { return core.Utilize(t.store()) }
 
 // ModuleBreakdown returns busy time per MAL module, descending.
-func (t traceView) ModuleBreakdown() []ModuleStat { return core.ModuleBreakdown(t.store) }
+func (t *traceView) ModuleBreakdown() []ModuleStat { return core.ModuleBreakdown(t.store()) }
 
 // ThreadTimeline returns each thread's busy segments (the Gantt chart).
-func (t traceView) ThreadTimeline() map[int][]Segment { return core.ThreadTimeline(t.store) }
+func (t *traceView) ThreadTimeline() map[int][]Segment { return core.ThreadTimeline(t.store()) }
 
 // BirdsEye clusters the trace into n buckets for the whole-run overview.
-func (t traceView) BirdsEye(n int) []Cluster { return core.BirdsEye(t.store, n) }
+func (t *traceView) BirdsEye(n int) []Cluster { return core.BirdsEye(t.store(), n) }
 
 // MemoryTimeline samples the estimated memory footprint over n points.
-func (t traceView) MemoryTimeline(n int) []MemPoint { return core.MemoryTimeline(t.store, n) }
+func (t *traceView) MemoryTimeline(n int) []MemPoint { return core.MemoryTimeline(t.store(), n) }
 
 // MicroReport renders the micro-analysis summary (module shares, memory
 // peaks, data flow).
-func (t traceView) MicroReport() string { return core.MicroReport(t.store) }
+func (t *traceView) MicroReport() string { return core.MicroReport(t.store()) }
 
 // Tooltip renders the hover text for one instruction.
-func (t traceView) Tooltip(pc int) string { return core.Tooltip(t.store, pc) }
+func (t *traceView) Tooltip(pc int) string { return core.Tooltip(t.store(), pc) }
 
 // Stats describes one execution.
 type Stats struct {
@@ -62,6 +79,9 @@ type Stats struct {
 	// Partitions and Workers are the settings the query ran with.
 	Partitions int
 	Workers    int
+	// CacheHit reports whether the optimized plan came from the shared
+	// plan cache (compilation was skipped entirely).
+	CacheHit bool
 }
 
 // Result is one executed query: the optimized MAL plan, the profiler
@@ -114,7 +134,7 @@ func (r *Result) Dot() string { return dot.Export(r.plan).Marshal() }
 // marshaled event per line.
 func (r *Result) TraceText() string {
 	var b []byte
-	for _, e := range r.store.Events() {
+	for _, e := range r.store().Events() {
 		b = append(b, e.Marshal()...)
 		b = append(b, '\n')
 	}

@@ -18,8 +18,18 @@ type Server struct {
 // Serve starts the TCP front-end on addr ("127.0.0.1:0" picks a free
 // port). name is announced to clients. Canceling ctx (or calling Close)
 // stops the listener and aborts in-flight query executions.
+//
+// The server shares the DB's engine, optimizer pipeline, and compiled-
+// plan cache: TCP sessions and in-process Exec callers serve from (and
+// warm) the same plan state, and all of them may run concurrently.
 func (db *DB) Serve(ctx context.Context, name, addr string) (*Server, error) {
-	srv := server.NewContext(ctx, name, db.cat)
+	srv := server.NewWithConfig(ctx, name, db.cat, server.Config{
+		Engine:   db.eng,
+		Cache:    db.cache,
+		NoCache:  db.cache == nil,
+		Pipeline: &db.pipeline,
+		PassSpec: db.passSpec,
+	})
 	if err := srv.Listen(addr); err != nil {
 		srv.Close() // release the derived context
 		return nil, fmt.Errorf("stethoscope: %w", err)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"stethoscope/internal/algebra"
@@ -13,12 +14,16 @@ import (
 	"stethoscope/internal/engine"
 	"stethoscope/internal/mal"
 	"stethoscope/internal/optimizer"
+	"stethoscope/internal/plancache"
 	"stethoscope/internal/profiler"
 	"stethoscope/internal/sql"
 	"stethoscope/internal/storage"
 	"stethoscope/internal/tpch"
-	"stethoscope/internal/trace"
 )
+
+// DefaultPlanCacheSize is the compiled-plan cache capacity Open uses
+// unless WithPlanCacheSize overrides it.
+const DefaultPlanCacheSize = plancache.DefaultSize
 
 // config collects the Open-time settings.
 type config struct {
@@ -27,6 +32,7 @@ type config struct {
 	partitions int
 	workers    int
 	passes     []string // nil selects the default optimizer pipeline
+	cacheSize  int      // compiled-plan cache capacity; 0 disables
 }
 
 // Option configures Open.
@@ -62,6 +68,20 @@ func WithOptimizerPasses(names ...string) Option {
 	}
 }
 
+// WithPlanCacheSize sets the capacity of the shared compiled-plan cache
+// (default DefaultPlanCacheSize). Repeated statements hit the cache and
+// skip parse → bind → compile → optimize entirely; the cache is shared
+// by every Exec/Explain caller and every server session of this DB.
+// n = 0 disables caching (every statement compiles from scratch).
+func WithPlanCacheSize(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.cacheSize = n
+	}
+}
+
 // buildPipeline resolves pass names into an optimizer pipeline.
 func buildPipeline(names []string) (optimizer.Pipeline, error) {
 	if names == nil {
@@ -83,18 +103,27 @@ func buildPipeline(names []string) (optimizer.Pipeline, error) {
 
 // DB is an in-process instance of the paper's whole server side: a BAT
 // catalog loaded with synthetic TPC-H data, the SQL → algebra → MAL
-// compiler, the optimizer pipeline, and the profiled MAL interpreter.
-// One DB serves many concurrent Exec calls.
+// compiler, the optimizer pipeline, the shared compiled-plan cache, and
+// the profiled MAL interpreter. One DB serves many concurrent Exec
+// calls: the engine is reentrant, compiled plans are shared read-only,
+// and DB.Stats reports the serving counters.
 type DB struct {
 	cfg      config
 	pipeline optimizer.Pipeline
+	passSpec string
 	cat      *storage.Catalog
 	eng      *engine.Engine
+	cache    *plancache.Cache // nil when caching is disabled
+
+	opened   time.Time
+	inflight atomic.Int64
+	execs    atomic.Int64
+	events   atomic.Int64
 }
 
 // Open generates the data substrate and returns a ready database.
 func Open(opts ...Option) (*DB, error) {
-	cfg := config{sf: 0.01, seed: 42, partitions: 1, workers: 1}
+	cfg := config{sf: 0.01, seed: 42, partitions: 1, workers: 1, cacheSize: DefaultPlanCacheSize}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -112,7 +141,18 @@ func Open(opts ...Option) (*DB, error) {
 	if err := tpch.Load(cat, tpch.Config{SF: cfg.sf, Seed: cfg.seed}); err != nil {
 		return nil, fmt.Errorf("stethoscope: %w", err)
 	}
-	return &DB{cfg: cfg, pipeline: pl, cat: cat, eng: engine.New(cat)}, nil
+	db := &DB{
+		cfg:      cfg,
+		pipeline: pl,
+		passSpec: pl.Spec(),
+		cat:      cat,
+		eng:      engine.New(cat),
+		opened:   time.Now(),
+	}
+	if cfg.cacheSize > 0 {
+		db.cache = plancache.New(cfg.cacheSize)
+	}
+	return db, nil
 }
 
 // Close releases the database. It exists for symmetry and future
@@ -173,26 +213,38 @@ func (db *DB) execConfig(opts []ExecOption) execConfig {
 	return ec
 }
 
-// compile lowers SQL to an optimized MAL plan under the DB's pipeline.
-func (db *DB) compile(query string, partitions int) (*mal.Plan, OptimizerStats, error) {
-	var stats OptimizerStats
+// compile lowers SQL to an optimized MAL plan under the DB's pipeline,
+// consulting the shared plan cache first. cached reports whether the
+// whole parse → bind → compile → optimize chain was skipped. Cached
+// plans are shared between concurrent executions and must be treated as
+// immutable by callers.
+func (db *DB) compile(query string, partitions int) (plan *mal.Plan, stats OptimizerStats, cached bool, err error) {
+	key := plancache.Key{SQL: query, Partitions: partitions, Passes: db.passSpec}
+	if db.cache != nil {
+		if e, ok := db.cache.Get(key); ok {
+			return e.Plan, e.Opt, true, nil
+		}
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
-		return nil, stats, fmt.Errorf("stethoscope: parse: %w", err)
+		return nil, stats, false, fmt.Errorf("stethoscope: parse: %w", err)
 	}
 	tree, err := algebra.Bind(stmt, db.cat)
 	if err != nil {
-		return nil, stats, fmt.Errorf("stethoscope: bind: %w", err)
+		return nil, stats, false, fmt.Errorf("stethoscope: bind: %w", err)
 	}
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: partitions})
+	plan, err = compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: partitions})
 	if err != nil {
-		return nil, stats, fmt.Errorf("stethoscope: compile: %w", err)
+		return nil, stats, false, fmt.Errorf("stethoscope: compile: %w", err)
 	}
 	plan, stats, err = db.pipeline.Run(plan)
 	if err != nil {
-		return nil, stats, fmt.Errorf("stethoscope: optimize: %w", err)
+		return nil, stats, false, fmt.Errorf("stethoscope: optimize: %w", err)
 	}
-	return plan, stats, nil
+	if db.cache != nil {
+		db.cache.Put(key, plancache.Entry{Plan: plan, Opt: stats})
+	}
+	return plan, stats, false, nil
 }
 
 // Exec compiles, optimizes, and executes one SQL query under the
@@ -202,11 +254,16 @@ func (db *DB) compile(query string, partitions int) (*mal.Plan, OptimizerStats, 
 // instructions, dataflow runs stop dispatching work.
 func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Result, error) {
 	ec := db.execConfig(opts)
-	plan, ostats, err := db.compile(query, ec.partitions)
+	plan, ostats, cached, err := db.compile(query, ec.partitions)
 	if err != nil {
 		return nil, err
 	}
-	sink := &profiler.SliceSink{}
+	db.inflight.Add(1)
+	defer db.inflight.Add(-1)
+	// Two events (start + done) per instruction: preallocate exactly.
+	// The sink is private to this run and read only after it completes,
+	// so the lock-free variant applies.
+	sink := profiler.NewOwnedSliceSink(2 * len(plan.Instrs))
 	start := time.Now()
 	res, err := db.eng.RunContext(ctx, plan, engine.Options{
 		Workers:  ec.workers,
@@ -215,9 +272,11 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	events := sink.Events()
+	events := sink.Take()
+	db.execs.Add(1)
+	db.events.Add(int64(len(events)))
 	return &Result{
-		traceView: traceView{store: trace.FromEvents(events)},
+		traceView: traceView{events: events},
 		Query:     query,
 		Stats: Stats{
 			Optimizer:    ostats,
@@ -225,6 +284,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 			Instructions: len(plan.Instrs),
 			Partitions:   ec.partitions,
 			Workers:      ec.workers,
+			CacheHit:     cached,
 		},
 		plan: plan,
 		res:  res,
@@ -235,11 +295,47 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 // returns the MAL listing.
 func (db *DB) Explain(query string, opts ...ExecOption) (string, error) {
 	ec := db.execConfig(opts)
-	plan, _, err := db.compile(query, ec.partitions)
+	plan, _, _, err := db.compile(query, ec.partitions)
 	if err != nil {
 		return "", err
 	}
 	return plan.String(), nil
+}
+
+// DBStats is a point-in-time snapshot of the DB's serving counters.
+type DBStats struct {
+	// Cache reports plan-cache effectiveness (hits, misses, evictions,
+	// occupancy). Zero-valued when caching is disabled.
+	Cache plancache.Stats
+	// InFlight is the number of Exec calls currently executing.
+	InFlight int64
+	// Execs is the number of completed successful executions.
+	Execs int64
+	// Events is the total number of profiler events those executions
+	// produced.
+	Events int64
+	// EventsPerSec is Events averaged over the DB's lifetime.
+	EventsPerSec float64
+	// Uptime is the time since Open.
+	Uptime time.Duration
+}
+
+// Stats snapshots the serving counters: plan-cache effectiveness,
+// in-flight queries, and profiler-event throughput.
+func (db *DB) Stats() DBStats {
+	st := DBStats{
+		InFlight: db.inflight.Load(),
+		Execs:    db.execs.Load(),
+		Events:   db.events.Load(),
+		Uptime:   time.Since(db.opened),
+	}
+	if db.cache != nil {
+		st.Cache = db.cache.Stats()
+	}
+	if secs := st.Uptime.Seconds(); secs > 0 {
+		st.EventsPerSec = float64(st.Events) / secs
+	}
+	return st
 }
 
 // DumpCSV writes a catalog table as CSV with a header line. table is a
