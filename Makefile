@@ -34,7 +34,7 @@ bench-smoke:
 # bench-record mirrors the CI bench-record job: the experiment
 # benchmarks, 3 repetitions, converted to BENCH_<sha>.json.
 bench-record:
-	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec' \
+	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory' \
 		-benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_$(SHA).json
 	@echo wrote BENCH_$(SHA).json
 

@@ -27,6 +27,7 @@ import (
 	"stethoscope/internal/svg"
 	"stethoscope/internal/tpch"
 	"stethoscope/internal/trace"
+	"stethoscope/internal/tracestore"
 	"stethoscope/internal/zvtm"
 )
 
@@ -631,14 +632,20 @@ const cacheBenchQuery = `select l_orderkey,
 // against one that serves the optimized plan from the shared cache,
 // at 128-way mitosis: the cached variant skips the whole
 // parse → bind → compile → optimize chain and must be at least
-// ~5× faster.
+// ~5× faster. Both variants run with the durable query history
+// enabled, pinning that the teed store sink does not erode the cache
+// advantage.
 func BenchmarkPlanCacheHit(b *testing.B) {
 	ctx := context.Background()
 	open := func(b *testing.B, opts ...Option) *DB {
-		db, err := Open(append([]Option{WithScaleFactor(0.001)}, opts...)...)
+		db, err := Open(append([]Option{
+			WithScaleFactor(0.001),
+			WithHistory(b.TempDir()),
+		}, opts...)...)
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.Cleanup(func() { db.Close() })
 		return db
 	}
 	b.Run("cold", func(b *testing.B) {
@@ -721,6 +728,77 @@ func BenchmarkConcurrentExec(b *testing.B) {
 			default:
 			}
 		})
+	}
+}
+
+// --- Query history: the durable trace store ---------------------------
+
+// historyBenchEvents is a realistic 256-event batch (start/done pairs
+// with MAL statement text) reused across append iterations.
+var historyBenchEvents = func() []profiler.Event {
+	evs := make([]profiler.Event, 0, 256)
+	for i := 0; i < 128; i++ {
+		stmt := fmt.Sprintf(`X_%d:bat[:oid] := algebra.thetaselect(X_1, "=", %d);`, i, i)
+		evs = append(evs,
+			profiler.Event{Seq: int64(2 * i), State: profiler.StateStart, PC: i, ClkUs: int64(10 * i), Stmt: stmt},
+			profiler.Event{Seq: int64(2*i + 1), State: profiler.StateDone, PC: i, ClkUs: int64(10*i + 9),
+				DurUs: 9, RSSKB: 128, Reads: 1000, Writes: 100, Stmt: stmt})
+	}
+	return evs
+}()
+
+// BenchmarkHistoryAppend measures the durable sink's batched hot path:
+// events flow through a profiler.Batcher into tracestore events
+// records, exactly as an Exec with WithHistory tees them. ns/op is per
+// event; the store must sustain >= 100k events/sec (the companion
+// assertion lives in internal/tracestore's TestAppendThroughput).
+func BenchmarkHistoryAppend(b *testing.B) {
+	st, err := tracestore.Open(tracestore.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	w, err := st.Begin(tracestore.RunMeta{SQL: cacheBenchQuery, Instructions: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batcher := profiler.NewBatcher(w, 256, 0)
+	evs := historyBenchEvents
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batcher.Emit(evs[i%len(evs)])
+	}
+	batcher.Flush()
+	b.StopTimer()
+	if err := w.Finish(tracestore.RunStats{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkHistoryTopN measures the aggregation layer over a populated
+// store: ranking 256 recorded runs per iteration.
+func BenchmarkHistoryTopN(b *testing.B) {
+	st, err := tracestore.Open(tracestore.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 256; i++ {
+		w, err := st.Begin(tracestore.RunMeta{SQL: fmt.Sprintf("select %d", i), Instructions: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.EmitBatch(historyBenchEvents)
+		if err := w.Finish(tracestore.RunStats{ElapsedUs: int64((i * 7919) % 100_000)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if top := st.TopN(10); len(top) != 10 {
+			b.Fatalf("TopN returned %d runs", len(top))
+		}
 	}
 }
 

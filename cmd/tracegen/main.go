@@ -1,12 +1,14 @@
 // Command tracegen produces matched dot-file and trace-file pairs for
 // offline Stethoscope analysis: it compiles a SQL query against a
 // synthetic TPC-H catalog, executes it under the profiler, and writes
-// <out>.dot and <out>.trace.
+// <out>.dot and <out>.trace. With -store it additionally records the
+// run into a durable trace store, so tracehist demos work without a
+// live server.
 //
 // Usage:
 //
 //	tracegen -q "select l_tax from lineitem where l_partkey=1" -o plan \
-//	         -partitions 8 -workers 4 -sf 0.01
+//	         -partitions 8 -workers 4 -sf 0.01 [-store .history]
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	workers := flag.Int("workers", 1, "dataflow worker count")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	seed := flag.Uint64("seed", 42, "data generator seed")
+	store := flag.String("store", "", "also record the run into the trace store at this directory")
 	flag.Parse()
 
 	db, err := stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
@@ -58,4 +61,19 @@ func main() {
 	fmt.Printf("query returned %d rows\n", res.Rows())
 	fmt.Printf("plan: %d instructions -> %s\n", res.Stats.Instructions, dotPath)
 	fmt.Printf("trace: %d events      -> %s\n", res.TraceLen(), tracePath)
+
+	if *store != "" {
+		h, err := stethoscope.OpenHistory(*store)
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		id, err := h.Record(res)
+		if err != nil {
+			log.Fatalf("record run: %v", err)
+		}
+		if err := h.Close(); err != nil {
+			log.Fatalf("close store: %v", err)
+		}
+		fmt.Printf("history: recorded as run %d in %s\n", id, *store)
+	}
 }

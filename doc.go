@@ -31,6 +31,12 @@
 //     front-end, and its client.
 //   - DB.Debug → Debugger — the GDB-like MAL debugger the paper
 //     improves upon.
+//   - WithHistory(dir) / DB.History / OpenHistory → History — the
+//     durable query history: every execution is recorded into an
+//     append-only segmented trace store with retention and crash
+//     recovery, then listed (Queries, TopN), replayed as a full
+//     Analysis, and diffed across runs (Compare) — after restarts,
+//     from other processes, or over TCP via the HISTORY command.
 //
 // Everything else lives under internal/; see DESIGN.md for the full
 // system inventory and the MonetDB-substitution notes. The experiment

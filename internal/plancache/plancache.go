@@ -16,6 +16,7 @@ import (
 	"container/list"
 	"sync"
 
+	"stethoscope/internal/dot"
 	"stethoscope/internal/mal"
 	"stethoscope/internal/optimizer"
 )
@@ -37,10 +38,43 @@ type Key struct {
 }
 
 // Entry is a cached compilation: the optimized plan and what the
-// optimizer did to it.
+// optimizer did to it, plus a holder for artifacts derived from the
+// plan on demand.
 type Entry struct {
 	Plan *mal.Plan
 	Opt  optimizer.Stats
+	// Aux memoizes derived per-plan artifacts (e.g. the dot export the
+	// history store records per run). It lives and dies with the cache
+	// entry, so memoized artifacts never outlive their plan. Fill it
+	// when inserting (&Aux{}); it is nil for entries that never needed
+	// one.
+	Aux *Aux
+}
+
+// Aux memoizes expensive artifacts derived from an immutable cached
+// plan. It is safe for concurrent use by every session sharing the
+// entry.
+type Aux struct {
+	dotOnce sync.Once
+	dot     string
+}
+
+// Dot returns the memoized dot text, rendering it on first use.
+func (a *Aux) Dot(render func() string) string {
+	a.dotOnce.Do(func() { a.dot = render() })
+	return a.dot
+}
+
+// DotText renders a plan's dot-file text, memoized in aux when one
+// exists — the shared helper of the facade Exec path and the server
+// QUERY path, so a cached plan's dot export is rendered once no matter
+// how many sessions trace or record it.
+func DotText(plan *mal.Plan, aux *Aux) string {
+	render := func() string { return dot.Export(plan).Marshal() }
+	if aux == nil {
+		return render()
+	}
+	return aux.Dot(render)
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness.

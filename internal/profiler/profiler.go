@@ -3,6 +3,7 @@ package profiler
 import (
 	"bufio"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
@@ -21,6 +22,11 @@ type Filter struct {
 	MinDurUs int64
 	// PCs restricts to specific program counters when non-empty.
 	PCs []int
+}
+
+// IsZero reports whether the filter passes everything.
+func (f Filter) IsZero() bool {
+	return len(f.States) == 0 && len(f.Modules) == 0 && f.MinDurUs == 0 && len(f.PCs) == 0
 }
 
 // Pass reports whether the event passes the filter. module is the
@@ -71,6 +77,45 @@ func (f Filter) Pass(e Event, module string) bool {
 // Sink consumes profiler events.
 type Sink interface {
 	Emit(Event)
+}
+
+// ModuleOf extracts the MAL module of a statement text ("" when it has
+// no module-qualified call), e.g. "algebra" for
+// `X_5:bat[:oid] := algebra.thetaselect(X_1, "=", 1);`.
+func ModuleOf(stmt string) string {
+	s := stmt
+	if i := strings.Index(s, ":="); i >= 0 {
+		s = strings.TrimSpace(s[i+2:])
+	}
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return strings.TrimSpace(s[:i])
+	}
+	return ""
+}
+
+// filteredSink applies a Filter in front of one sink, deriving the
+// module from the statement text.
+type filteredSink struct {
+	f    Filter
+	next Sink
+}
+
+// Emit implements Sink.
+func (s filteredSink) Emit(e Event) {
+	if s.f.Pass(e, ModuleOf(e.Stmt)) {
+		s.next.Emit(e)
+	}
+}
+
+// FilterSink scopes a filter to a single sink of a multi-sink
+// profiler: the wrapped sink sees only passing events while sibling
+// sinks (durable history, counters) see the full stream. A zero filter
+// returns the sink unwrapped.
+func FilterSink(f Filter, next Sink) Sink {
+	if f.IsZero() {
+		return next
+	}
+	return filteredSink{f: f, next: next}
 }
 
 // SinkFunc adapts a function to the Sink interface.

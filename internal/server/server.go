@@ -19,7 +19,6 @@ import (
 
 	"stethoscope/internal/algebra"
 	"stethoscope/internal/compiler"
-	"stethoscope/internal/dot"
 	"stethoscope/internal/engine"
 	"stethoscope/internal/mal"
 	"stethoscope/internal/netproto"
@@ -28,6 +27,7 @@ import (
 	"stethoscope/internal/profiler"
 	"stethoscope/internal/sql"
 	"stethoscope/internal/storage"
+	"stethoscope/internal/tracestore"
 )
 
 // DefaultPlanCacheSize is the compiled-plan cache capacity a standalone
@@ -45,6 +45,8 @@ type Server struct {
 	cache    *plancache.Cache
 	pipeline optimizer.Pipeline
 	passSpec string
+	history  *tracestore.Store
+	onQuery  func(events int)
 
 	// ctx is the server lifetime: queries execute under it, so Close (or
 	// cancellation of the parent context) aborts in-flight executions.
@@ -77,6 +79,15 @@ type Config struct {
 	// PassSpec is the pipeline's cache-key component; empty derives it
 	// from the pipeline (Pipeline.Spec).
 	PassSpec string
+	// History, when non-nil, durably records every QUERY execution
+	// (plan dot text + profiler event stream + completion stats) into
+	// the trace store and enables the HISTORY protocol command.
+	History *tracestore.Store
+	// OnQuery, when non-nil, is called once per successful QUERY with
+	// the number of profiler events the execution emitted. The count is
+	// taken at the profiler — once per event — never from the transport,
+	// so EVTB-coalesced datagrams do not skew it.
+	OnQuery func(events int)
 }
 
 // New creates a server over the catalog.
@@ -112,6 +123,8 @@ func NewWithConfig(ctx context.Context, name string, cat *storage.Catalog, cfg C
 	if s.passSpec == "" {
 		s.passSpec = s.pipeline.Spec()
 	}
+	s.history = cfg.History
+	s.onQuery = cfg.OnQuery
 	return s
 }
 
@@ -188,8 +201,10 @@ func (s *Server) Close() error {
 }
 
 // session is per-connection state: execution settings, filter, and the
-// profiler stream are isolated per client; the engine and the plan
-// cache are shared with every other session.
+// profiler stream are isolated per client; the engine, the plan cache,
+// and the history store are shared with every other session. The
+// profiler itself is built per QUERY (engine runs reset profiler state,
+// so a profiler must not span concurrent runs).
 type session struct {
 	srv        *Server
 	partitions int
@@ -197,7 +212,6 @@ type session struct {
 	filter     profiler.Filter
 	streamer   *netproto.UDPStreamer
 	batcher    *profiler.Batcher
-	prof       *profiler.Profiler
 }
 
 // traceBatch configures the per-session event batching on the UDP
@@ -277,6 +291,8 @@ func (sess *session) dispatch(w *bufio.Writer, line string) {
 		sess.cmdDot(w, rest)
 	case "QUERY":
 		sess.cmdQuery(w, rest)
+	case "HISTORY":
+		sess.cmdHistory(w, rest)
 	case "STATS":
 		st := sess.srv.CacheStats()
 		fmt.Fprintln(w, "ok")
@@ -332,8 +348,6 @@ func (sess *session) cmdTrace(w *bufio.Writer, addr string) {
 	// Events coalesce into multi-event datagrams on their way out — one
 	// syscall per batch instead of per event on the hot trace path.
 	sess.batcher = profiler.NewBatcher(streamer, traceBatchSize, traceFlushEvery)
-	sess.prof = profiler.New(sess.batcher)
-	sess.prof.SetFilter(sess.filter)
 	streamer.Hello(sess.srv.Name)
 	fmt.Fprintln(w, "ok tracing to "+addr)
 }
@@ -383,43 +397,44 @@ func (sess *session) cmdFilter(w *bufio.Writer, rest string) {
 		}
 	}
 	sess.filter = f
-	if sess.prof != nil {
-		sess.prof.SetFilter(f)
-	}
 	fmt.Fprintln(w, "ok")
 }
 
 // compile turns SQL into an optimized MAL plan under the session's
 // settings, consulting the server's shared plan cache first. Cached
-// plans are shared read-only between sessions executing concurrently.
-func (sess *session) compile(query string) (*mal.Plan, error) {
+// plans are shared read-only between sessions executing concurrently;
+// the returned aux (nil when caching is disabled) memoizes the plan's
+// dot export across those sessions.
+func (sess *session) compile(query string) (*mal.Plan, *plancache.Aux, error) {
 	srv := sess.srv
 	key := plancache.Key{SQL: query, Partitions: sess.partitions, Passes: srv.passSpec}
 	if srv.cache != nil {
 		if e, ok := srv.cache.Get(key); ok {
-			return e.Plan, nil
+			return e.Plan, e.Aux, nil
 		}
 	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tree, err := algebra.Bind(stmt, srv.eng.Catalog())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: sess.partitions})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opt, stats, err := srv.pipeline.Run(plan)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var aux *plancache.Aux
 	if srv.cache != nil {
-		srv.cache.Put(key, plancache.Entry{Plan: opt, Opt: stats})
+		aux = &plancache.Aux{}
+		srv.cache.Put(key, plancache.Entry{Plan: opt, Opt: stats, Aux: aux})
 	}
-	return opt, nil
+	return opt, aux, nil
 }
 
 // cmdAlgebra prints the bound relational-algebra tree, the stage between
@@ -441,7 +456,7 @@ func (sess *session) cmdAlgebra(w *bufio.Writer, query string) {
 }
 
 func (sess *session) cmdExplain(w *bufio.Writer, query string) {
-	plan, err := sess.compile(query)
+	plan, _, err := sess.compile(query)
 	if err != nil {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
@@ -452,43 +467,253 @@ func (sess *session) cmdExplain(w *bufio.Writer, query string) {
 }
 
 func (sess *session) cmdDot(w *bufio.Writer, query string) {
-	plan, err := sess.compile(query)
+	plan, aux, err := sess.compile(query)
 	if err != nil {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
 	}
 	fmt.Fprintln(w, "ok")
-	fmt.Fprint(w, dot.Export(plan).Marshal())
+	fmt.Fprint(w, plancache.DotText(plan, aux))
 	fmt.Fprintln(w, ".")
 }
 
+// countingSink counts profiler events one by one — the serving
+// counters' source of truth. It deliberately sits at the profiler, not
+// the transport: counting flushed EVTB datagrams would undercount by
+// the batch factor.
+type countingSink struct{ n int }
+
+// Emit implements profiler.Sink.
+func (c *countingSink) Emit(profiler.Event) { c.n++ }
+
 func (sess *session) cmdQuery(w *bufio.Writer, query string) {
-	plan, err := sess.compile(query)
+	srv := sess.srv
+	plan, aux, err := sess.compile(query)
 	if err != nil {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
 	}
+	var dotText string
+	if sess.streamer != nil || srv.history != nil {
+		dotText = plancache.DotText(plan, aux)
+	}
 	// The server generates the dot file and sends it over the UDP stream
 	// before query execution begins (§4.2).
 	if sess.streamer != nil {
-		sess.streamer.SendDot(query, dot.Export(plan).Marshal())
+		sess.streamer.SendDot(query, dotText)
 	}
-	res, err := sess.srv.eng.RunContext(sess.srv.ctx, plan, engine.Options{
+	// Assemble the per-query profiler pipeline: the session's UDP
+	// batcher (TRACE) behind the session's display filter, a durable
+	// sink teeing batched events into the history store, and the
+	// per-event counter for the serving stats. The filter scopes to the
+	// UDP stream only — the history record and the counters always see
+	// the full trace. A query nobody observes runs with no profiler at
+	// all.
+	var sinks []profiler.Sink
+	if sess.batcher != nil {
+		sinks = append(sinks, profiler.FilterSink(sess.filter, sess.batcher))
+	}
+	var rec *tracestore.RunWriter
+	var hb *profiler.Batcher
+	if srv.history != nil {
+		rec, err = srv.history.Begin(tracestore.RunMeta{
+			SQL:          query,
+			Dot:          dotText,
+			Partitions:   sess.partitions,
+			Workers:      sess.workers,
+			Instructions: len(plan.Instrs),
+		})
+		if err != nil {
+			fmt.Fprintf(w, "err history: %v\n", err)
+			return
+		}
+		hb = profiler.NewBatcher(rec, tracestore.DefaultAppendBatch, 0)
+		sinks = append(sinks, hb)
+	}
+	var count *countingSink
+	var prof *profiler.Profiler
+	if len(sinks) > 0 {
+		if srv.onQuery != nil {
+			count = &countingSink{}
+			sinks = append(sinks, count)
+		}
+		prof = profiler.New(sinks...)
+	}
+	start := time.Now()
+	res, err := srv.eng.RunContext(srv.ctx, plan, engine.Options{
 		Workers:  sess.workers,
-		Profiler: sess.prof,
+		Profiler: prof,
 	})
+	elapsed := time.Since(start)
+	if hb != nil {
+		hb.Close() // flush the tail batch into the store
+	}
 	// Push the tail of the event batch out before answering, so the
 	// monitor sees the complete trace as soon as the client sees "ok".
 	if sess.batcher != nil {
 		sess.batcher.Flush()
 	}
+	if rec != nil {
+		st := tracestore.RunStats{ElapsedUs: elapsed.Microseconds()}
+		if err != nil {
+			st.Err = err.Error()
+		} else {
+			st.Rows = res.Rows()
+		}
+		if herr := rec.Finish(st); herr != nil && err == nil {
+			fmt.Fprintf(w, "err history: %v\n", herr)
+			return
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
 	}
+	if srv.onQuery != nil {
+		n := 0
+		if count != nil {
+			n = count.n
+		}
+		srv.onQuery(n)
+	}
 	fmt.Fprintln(w, "ok")
 	WriteResult(w, res)
 	fmt.Fprintln(w, ".")
+}
+
+// runLine renders one run as a k=v protocol line. The two quoted,
+// space-containing fields (sql, err) come last, so everything before
+// sql= splits cleanly on spaces.
+func runLine(r tracestore.RunInfo) string {
+	return fmt.Sprintf("id=%d start=%s elapsed_us=%d events=%d rows=%d partitions=%d workers=%d complete=%t cache_hit=%t sql=%s err=%s",
+		r.ID, r.Start.UTC().Format(time.RFC3339Nano), r.ElapsedUs, r.Events, r.Rows,
+		r.Partitions, r.Workers, r.Complete, r.CacheHit, strconv.Quote(r.SQL), strconv.Quote(r.Err))
+}
+
+// cmdHistory serves the query-history protocol:
+//
+//	HISTORY LIST [n]   — recorded runs, most recent first
+//	HISTORY TOP [n]    — slowest completed runs, slowest first
+//	HISTORY INFO <id>  — one run's metadata line
+//	HISTORY TRACE <id> — one run's trace-file lines
+//	HISTORY DOT <id>   — one run's plan dot text
+//	HISTORY DIFF <a> <b> — cross-run comparison of two runs of one SQL
+func (sess *session) cmdHistory(w *bufio.Writer, rest string) {
+	hs := sess.srv.history
+	if hs == nil {
+		fmt.Fprintln(w, "err history is not enabled on this server")
+		return
+	}
+	fields := strings.Fields(rest)
+	sub := "LIST"
+	if len(fields) > 0 {
+		sub = strings.ToUpper(fields[0])
+		fields = fields[1:]
+	}
+	argN := func(def int) int {
+		if len(fields) == 0 {
+			return def
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return def
+		}
+		return n
+	}
+	argID := func(i int) (uint64, bool) {
+		if len(fields) <= i {
+			return 0, false
+		}
+		id, err := strconv.ParseUint(fields[i], 10, 64)
+		return id, err == nil
+	}
+	switch sub {
+	case "LIST":
+		runs := hs.Runs()
+		n := argN(0)
+		fmt.Fprintln(w, "ok")
+		for i := len(runs) - 1; i >= 0; i-- {
+			if n > 0 && len(runs)-1-i >= n {
+				break
+			}
+			fmt.Fprintln(w, runLine(runs[i]))
+		}
+		fmt.Fprintln(w, ".")
+	case "TOP":
+		fmt.Fprintln(w, "ok")
+		for _, r := range hs.TopN(argN(10)) {
+			fmt.Fprintln(w, runLine(r))
+		}
+		fmt.Fprintln(w, ".")
+	case "INFO":
+		id, ok := argID(0)
+		if !ok {
+			fmt.Fprintln(w, "err usage: HISTORY INFO <id>")
+			return
+		}
+		r, found := hs.Run(id)
+		if !found {
+			fmt.Fprintf(w, "err unknown run %d\n", id)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		fmt.Fprintln(w, runLine(r))
+		fmt.Fprintln(w, ".")
+	case "TRACE":
+		id, ok := argID(0)
+		if !ok {
+			fmt.Fprintln(w, "err usage: HISTORY TRACE <id>")
+			return
+		}
+		evs, err := hs.Events(id)
+		if err != nil {
+			fmt.Fprintf(w, "err %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		for _, e := range evs {
+			fmt.Fprintln(w, e.Marshal())
+		}
+		fmt.Fprintln(w, ".")
+	case "DOT":
+		id, ok := argID(0)
+		if !ok {
+			fmt.Fprintln(w, "err usage: HISTORY DOT <id>")
+			return
+		}
+		dotText, err := hs.Dot(id)
+		if err != nil {
+			fmt.Fprintf(w, "err %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		fmt.Fprint(w, dotText)
+		if !strings.HasSuffix(dotText, "\n") {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, ".")
+	case "DIFF":
+		a, okA := argID(0)
+		b, okB := argID(1)
+		if !okA || !okB {
+			fmt.Fprintln(w, "err usage: HISTORY DIFF <a> <b>")
+			return
+		}
+		d, err := hs.Compare(a, b)
+		if err != nil {
+			fmt.Fprintf(w, "err %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		fmt.Fprintf(w, "elapsed_delta_us=%d regression=%t a=%d b=%d sql=%s\n",
+			d.ElapsedDeltaUs, d.Regression, d.A.ID, d.B.ID, strconv.Quote(d.A.SQL))
+		for _, m := range d.Modules {
+			fmt.Fprintf(w, "module=%s a_us=%d b_us=%d delta_us=%d\n", m.Module, m.AUs, m.BUs, m.DeltaUs)
+		}
+		fmt.Fprintln(w, ".")
+	default:
+		fmt.Fprintf(w, "err unknown HISTORY subcommand %q (have LIST, TOP, INFO, TRACE, DOT, DIFF)\n", sub)
+	}
 }
 
 // WriteResult renders a result table as tab-separated text with a header
@@ -564,7 +789,7 @@ func (c *Client) Command(line string) (string, []string, error) {
 		return status, nil, fmt.Errorf("server: %s", status)
 	}
 	cmd := strings.ToUpper(strings.Fields(line)[0])
-	if cmd != "EXPLAIN" && cmd != "ALGEBRA" && cmd != "DOT" && cmd != "QUERY" && cmd != "TABLES" && cmd != "STATS" {
+	if cmd != "EXPLAIN" && cmd != "ALGEBRA" && cmd != "DOT" && cmd != "QUERY" && cmd != "TABLES" && cmd != "STATS" && cmd != "HISTORY" {
 		return status, nil, nil
 	}
 	var payload []string

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -9,8 +10,10 @@ import (
 	"time"
 
 	"stethoscope/internal/core"
+	"stethoscope/internal/profiler"
 	"stethoscope/internal/storage"
 	"stethoscope/internal/tpch"
+	"stethoscope/internal/tracestore"
 )
 
 func startServer(t testing.TB) *Server {
@@ -358,5 +361,115 @@ func TestConcurrentSessions(t *testing.T) {
 	st := srv.CacheStats()
 	if st.Hits == 0 {
 		t.Fatalf("concurrent sessions never hit the shared cache: %+v", st)
+	}
+}
+
+// startHistoryServer is startServer with a trace store attached and an
+// OnQuery observer feeding the counter at *counted.
+func startHistoryServer(t testing.TB, counted *int) *Server {
+	t.Helper()
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, tpch.Config{SF: 0.001, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	store, err := tracestore.Open(tracestore.Options{Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	cfg := Config{History: store}
+	if counted != nil {
+		cfg.OnQuery = func(events int) { *counted += events }
+	}
+	srv := NewWithConfig(context.Background(), "history-server", cat, cfg)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestHistoryCommand drives the HISTORY protocol: QUERY executions are
+// recorded durably and served back over LIST/TOP/INFO/TRACE/DOT/DIFF.
+func TestHistoryCommand(t *testing.T) {
+	counted := 0
+	srv := startHistoryServer(t, &counted)
+	c := dialServer(t, srv)
+	q := "QUERY select l_tax from lineitem where l_partkey=1"
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Command(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, lines, err := c.Command("HISTORY LIST")
+	if err != nil {
+		t.Fatalf("HISTORY LIST: %v", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("HISTORY LIST = %d lines:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	// Most recent first, complete, with the SQL quoted.
+	if !strings.Contains(lines[0], "id=2") || !strings.Contains(lines[0], "complete=true") ||
+		!strings.Contains(lines[0], `sql="select l_tax`) {
+		t.Fatalf("HISTORY LIST line = %q", lines[0])
+	}
+	if _, lines, err = c.Command("HISTORY TOP 1"); err != nil || len(lines) != 1 {
+		t.Fatalf("HISTORY TOP 1: %v (%d lines)", err, len(lines))
+	}
+	if _, lines, err = c.Command("HISTORY INFO 1"); err != nil || len(lines) != 1 ||
+		!strings.Contains(lines[0], "id=1") {
+		t.Fatalf("HISTORY INFO 1: %v %q", err, lines)
+	}
+	// TRACE returns parseable event lines matching the store.
+	_, traceLines, err := c.Command("HISTORY TRACE 1")
+	if err != nil {
+		t.Fatalf("HISTORY TRACE: %v", err)
+	}
+	evs, err := srv.history.Events(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traceLines) != len(evs) {
+		t.Fatalf("HISTORY TRACE = %d lines, store has %d events", len(traceLines), len(evs))
+	}
+	if _, err := profiler.UnmarshalEvent(traceLines[0]); err != nil {
+		t.Fatalf("HISTORY TRACE line does not parse: %v", err)
+	}
+	// The observer counted exactly the stored events, once each.
+	want := 0
+	for _, id := range []uint64{1, 2} {
+		info, ok := srv.history.Run(id)
+		if !ok {
+			t.Fatalf("run %d missing from store", id)
+		}
+		want += info.Events
+	}
+	if counted != want {
+		t.Fatalf("OnQuery counted %d events, store holds %d", counted, want)
+	}
+	_, dotLines, err := c.Command("HISTORY DOT 2")
+	if err != nil || len(dotLines) == 0 || !strings.Contains(dotLines[0], "digraph") {
+		t.Fatalf("HISTORY DOT: %v %q", err, dotLines)
+	}
+	_, diffLines, err := c.Command("HISTORY DIFF 1 2")
+	if err != nil || len(diffLines) == 0 || !strings.Contains(diffLines[0], "elapsed_delta_us=") {
+		t.Fatalf("HISTORY DIFF: %v %q", err, diffLines)
+	}
+	// Unknown runs and bad usage answer with err, not a hang.
+	if _, _, err := c.Command("HISTORY TRACE 99"); err == nil {
+		t.Fatal("HISTORY TRACE 99 succeeded for a missing run")
+	}
+	if _, _, err := c.Command("HISTORY BOGUS"); err == nil {
+		t.Fatal("HISTORY BOGUS succeeded")
+	}
+}
+
+// TestHistoryDisabled pins the error answer on servers without a store.
+func TestHistoryDisabled(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	if _, _, err := c.Command("HISTORY LIST"); err == nil ||
+		!strings.Contains(err.Error(), "not enabled") {
+		t.Fatalf("HISTORY on a history-less server: %v", err)
 	}
 }

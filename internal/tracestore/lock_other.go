@@ -1,0 +1,9 @@
+//go:build !unix
+
+package tracestore
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; writer exclusivity
+// is only enforced on unix platforms.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package tracestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on f. The lock drops
+// automatically when the process exits (even via SIGKILL), so a
+// crashed writer never bricks the store.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

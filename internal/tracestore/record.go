@@ -1,0 +1,246 @@
+// On-disk record format of the trace store.
+//
+// A segment file is a sequence of length-prefixed, checksummed records:
+//
+//	u32le payloadLen | u32le crc32(payload) | payload
+//
+// The payload starts with a one-byte record type followed by the run id
+// as a uvarint; the rest is type-specific. Three record types exist:
+//
+//	begin  — run metadata: start time, SQL text, execution settings,
+//	         and the plan's dot text (so a stored run replays through
+//	         the offline analysis path without recompiling).
+//	events — a batch of profiler events, varint-packed.
+//	end    — completion statistics: elapsed time, result rows, plan
+//	         cache hit, and the execution error (empty on success).
+//
+// Records of concurrent runs interleave freely within a segment; the
+// run id on every record reassembles them. A crash can only tear the
+// last record of the last segment (appends are sequential); Open
+// detects the torn tail by its short length or checksum mismatch and
+// truncates it, losing at most that one record.
+package tracestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"stethoscope/internal/profiler"
+)
+
+// Record types.
+const (
+	recBegin  byte = 1
+	recEvents byte = 2
+	recEnd    byte = 3
+)
+
+// recHeaderLen is the fixed record header: payload length + CRC.
+const recHeaderLen = 8
+
+// maxRecordBytes bounds a single record; anything larger read back from
+// disk is treated as corruption rather than allocated.
+const maxRecordBytes = 64 << 20
+
+// RunMeta is the metadata written with a run's begin record.
+type RunMeta struct {
+	SQL          string
+	Dot          string // plan dot text, kept for offline replay
+	Start        time.Time
+	Partitions   int
+	Workers      int
+	Instructions int
+}
+
+// RunStats is the completion accounting written with an end record.
+type RunStats struct {
+	ElapsedUs int64
+	Rows      int
+	CacheHit  bool
+	Err       string // execution error; empty on success
+}
+
+// encodeBegin renders a begin payload.
+func encodeBegin(id uint64, m RunMeta) []byte {
+	b := make([]byte, 0, 64+len(m.SQL)+len(m.Dot))
+	b = append(b, recBegin)
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendVarint(b, m.Start.UnixNano())
+	b = binary.AppendUvarint(b, uint64(m.Partitions))
+	b = binary.AppendUvarint(b, uint64(m.Workers))
+	b = binary.AppendUvarint(b, uint64(m.Instructions))
+	b = appendString(b, m.SQL)
+	b = appendString(b, m.Dot)
+	return b
+}
+
+// encodeEvents renders an events payload.
+func encodeEvents(id uint64, evs []profiler.Event) []byte {
+	n := 0
+	for i := range evs {
+		n += 40 + len(evs[i].Stmt)
+	}
+	b := make([]byte, 0, 16+n)
+	b = append(b, recEvents)
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendUvarint(b, uint64(len(evs)))
+	for i := range evs {
+		e := &evs[i]
+		b = binary.AppendVarint(b, e.Seq)
+		b = append(b, byte(e.State))
+		b = binary.AppendVarint(b, int64(e.PC))
+		b = binary.AppendVarint(b, int64(e.Thread))
+		b = binary.AppendVarint(b, e.ClkUs)
+		b = binary.AppendVarint(b, e.DurUs)
+		b = binary.AppendVarint(b, e.RSSKB)
+		b = binary.AppendVarint(b, e.Reads)
+		b = binary.AppendVarint(b, e.Writes)
+		b = appendString(b, e.Stmt)
+	}
+	return b
+}
+
+// encodeEnd renders an end payload.
+func encodeEnd(id uint64, st RunStats) []byte {
+	b := make([]byte, 0, 32+len(st.Err))
+	b = append(b, recEnd)
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendVarint(b, st.ElapsedUs)
+	b = binary.AppendUvarint(b, uint64(st.Rows))
+	var flags byte
+	if st.CacheHit {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = appendString(b, st.Err)
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// payloadReader decodes a record payload with sticky error handling.
+type payloadReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *payloadReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("tracestore: truncated %s in record payload", what)
+	}
+}
+
+func (r *payloadReader) byte() byte {
+	if r.err != nil || r.pos >= len(r.b) {
+		r.fail("byte")
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *payloadReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *payloadReader) string() string {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.pos+n > len(r.b) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// decodeBegin parses a begin payload (after the type byte).
+func decodeBegin(b []byte) (id uint64, m RunMeta, err error) {
+	r := &payloadReader{b: b}
+	id = r.uvarint()
+	m.Start = time.Unix(0, r.varint())
+	m.Partitions = int(r.uvarint())
+	m.Workers = int(r.uvarint())
+	m.Instructions = int(r.uvarint())
+	m.SQL = r.string()
+	m.Dot = r.string()
+	return id, m, r.err
+}
+
+// decodeEventsHeader parses just the run id and event count of an events
+// payload — what the index scan needs without materializing the batch.
+func decodeEventsHeader(b []byte) (id uint64, count int, err error) {
+	r := &payloadReader{b: b}
+	id = r.uvarint()
+	count = int(r.uvarint())
+	return id, count, r.err
+}
+
+// decodeEvents parses a full events payload, appending to dst.
+func decodeEvents(b []byte, dst []profiler.Event) (uint64, []profiler.Event, error) {
+	r := &payloadReader{b: b}
+	id := r.uvarint()
+	count := int(r.uvarint())
+	if r.err != nil {
+		return id, dst, r.err
+	}
+	for i := 0; i < count && r.err == nil; i++ {
+		var e profiler.Event
+		e.Seq = r.varint()
+		e.State = profiler.State(r.byte())
+		e.PC = int(r.varint())
+		e.Thread = int(r.varint())
+		e.ClkUs = r.varint()
+		e.DurUs = r.varint()
+		e.RSSKB = r.varint()
+		e.Reads = r.varint()
+		e.Writes = r.varint()
+		e.Stmt = r.string()
+		if r.err == nil {
+			dst = append(dst, e)
+		}
+	}
+	return id, dst, r.err
+}
+
+// decodeEnd parses an end payload.
+func decodeEnd(b []byte) (id uint64, st RunStats, err error) {
+	r := &payloadReader{b: b}
+	id = r.uvarint()
+	st.ElapsedUs = r.varint()
+	st.Rows = int(r.uvarint())
+	st.CacheHit = r.byte()&1 != 0
+	st.Err = r.string()
+	return id, st, r.err
+}

@@ -1,0 +1,864 @@
+// Package tracestore is the durable query-history subsystem: an
+// append-only, segmented, checksummed binary store for profiler traces.
+// Every executed query becomes a run — a begin record carrying the SQL
+// and plan dot text, interleaved batches of profiler events, and an end
+// record with completion statistics — so "what ran slowly yesterday?"
+// survives process restarts. The store offers size- and age-based
+// retention at segment granularity with an optional background
+// compactor, crash recovery that truncates a torn tail record instead
+// of failing, and an aggregation layer (top-N slowest runs, per-module
+// and per-operator rollups, utilization summaries, and cross-run diffs
+// of the same SQL). See record.go for the on-disk format.
+package tracestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stethoscope/internal/profiler"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxSegmentBytes = 8 << 20
+	segPrefix              = "seg-"
+	segSuffix              = ".tlog"
+	lockName               = "LOCK"
+)
+
+// DefaultAppendBatch is how many events one durable events record
+// carries when the profiler pipeline tees into the store through a
+// profiler.Batcher.
+const DefaultAppendBatch = 256
+
+// Options configures Open. The zero value (plus Dir) is a store with
+// 8 MiB segments, unlimited retention, and no background compactor.
+type Options struct {
+	// Dir is the store directory, created if missing.
+	Dir string
+	// MaxSegmentBytes is the rollover threshold (default 8 MiB).
+	MaxSegmentBytes int64
+	// MaxTotalBytes caps the store size; Compact deletes the oldest
+	// sealed segments until under budget. 0 means unlimited.
+	MaxTotalBytes int64
+	// MaxAge expires sealed segments whose newest record is older.
+	// 0 means unlimited.
+	MaxAge time.Duration
+	// CompactEvery runs Compact on a background ticker. 0 disables the
+	// background compactor (Compact can still be called directly).
+	CompactEvery time.Duration
+	// ReadOnly opens the store for inspection: no writer lock is taken,
+	// a torn tail is skipped in memory instead of truncated on disk,
+	// and Begin/Compact fail. This is how tooling (tracehist) looks at
+	// a store a live server may be appending to.
+	ReadOnly bool
+	// Logf receives recovery and retention notices (default log.Printf).
+	Logf func(format string, args ...any)
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+}
+
+// recRef locates one record of a run.
+type recRef struct {
+	seg int
+	off int64
+	typ byte
+}
+
+// runEntry is the in-memory index entry of one run.
+type runEntry struct {
+	info RunInfo
+	refs []recRef
+}
+
+// RunInfo describes one recorded run.
+type RunInfo struct {
+	ID           uint64
+	SQL          string
+	Start        time.Time
+	Partitions   int
+	Workers      int
+	Instructions int
+	// Events is the number of stored profiler events.
+	Events int
+	// Complete reports whether the end record was written; ElapsedUs,
+	// Rows, CacheHit and Err are only meaningful when it is.
+	Complete  bool
+	ElapsedUs int64
+	Rows      int
+	CacheHit  bool
+	Err       string
+}
+
+// OK reports whether the run completed without an execution error.
+func (r RunInfo) OK() bool { return r.Complete && r.Err == "" }
+
+// segMeta tracks one segment file.
+type segMeta struct {
+	id     int
+	size   int64
+	newest time.Time // time of the most recent append (mtime on recovery)
+}
+
+// StoreStats is a point-in-time snapshot of the store.
+type StoreStats struct {
+	// Segments and Bytes describe the on-disk footprint.
+	Segments int
+	Bytes    int64
+	// Runs is the indexed run count.
+	Runs int
+	// RecoveredEvents is the number of events indexed from the last
+	// segment during crash recovery; TruncatedBytes is the size of the
+	// torn tail cut off — or skipped, on read-only opens — (0 when the
+	// store closed cleanly).
+	RecoveredEvents int
+	TruncatedBytes  int64
+	// DroppedSegments and DroppedRuns count what retention removed over
+	// this store handle's lifetime.
+	DroppedSegments int
+	DroppedRuns     int
+}
+
+// Store is the durable trace store. All methods are safe for concurrent
+// use: appends serialize under one mutex, reads snapshot the index and
+// then read immutable records lock-free.
+type Store struct {
+	opts  Options
+	logf  func(format string, args ...any)
+	clock func() time.Time
+
+	mu       sync.Mutex
+	lockF    *os.File      // flock-held writer lock; nil on read-only opens
+	f        *os.File      // active segment, append-only; nil on read-only opens
+	w        *bufio.Writer // buffers appends to f; nil on read-only opens
+	activeID int
+	segs     []*segMeta // ascending by id; last is active
+	index    map[uint64]*runEntry
+	order    []uint64 // run ids in begin order
+	nextID   uint64
+	closed   bool
+
+	recoveredEvents int
+	truncatedBytes  int64
+	droppedSegs     int
+	droppedRuns     int
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// Open opens (or creates) the store at opts.Dir, rebuilding the run
+// index by scanning the segments. A torn tail record in the last
+// segment — the signature of a crash mid-append — is truncated and
+// logged, not fatal; at most that one record is lost. Writers take an
+// exclusive lock on the directory: a second writable Open fails
+// instead of corrupting the live store. Read-only opens (tracehist)
+// take no lock and never modify the files.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("tracestore: Dir is required")
+	}
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	s := &Store{
+		opts:   opts,
+		logf:   opts.Logf,
+		clock:  opts.Clock,
+		index:  map[uint64]*runEntry{},
+		nextID: 1,
+		done:   make(chan struct{}),
+	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	if s.clock == nil {
+		s.clock = time.Now
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	if !opts.ReadOnly {
+		lf, err := os.OpenFile(filepath.Join(opts.Dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("tracestore: %w", err)
+		}
+		if err := lockFile(lf); err != nil {
+			lf.Close()
+			return nil, fmt.Errorf("tracestore: %s is locked by another writer (open it ReadOnly to inspect a live store): %w", opts.Dir, err)
+		}
+		s.lockF = lf
+	}
+	if err := s.recover(); err != nil {
+		s.closeLock()
+		return nil, err
+	}
+	if opts.ReadOnly {
+		return s, nil
+	}
+	// Resume appending to the last segment unless it is already full.
+	active := 1
+	if n := len(s.segs); n > 0 {
+		last := s.segs[n-1]
+		if last.size >= opts.MaxSegmentBytes {
+			active = last.id + 1
+		} else {
+			active = last.id
+		}
+	}
+	if err := s.openSegment(active); err != nil {
+		s.closeLock()
+		return nil, err
+	}
+	if opts.CompactEvery > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(opts.CompactEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := s.Compact(); err != nil {
+						s.logf("tracestore: background compaction: %v", err)
+					}
+				case <-s.done:
+					return
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+func (s *Store) segPath(id int) string {
+	return filepath.Join(s.opts.Dir, fmt.Sprintf("%s%08d%s", segPrefix, id, segSuffix))
+}
+
+// openSegment makes segment id the active append target, creating it if
+// needed and registering its segMeta.
+func (s *Store) openSegment(id int) error {
+	f, err := os.OpenFile(s.segPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriterSize(f, 256<<10)
+	s.activeID = id
+	if n := len(s.segs); n == 0 || s.segs[n-1].id != id {
+		s.segs = append(s.segs, &segMeta{id: id, newest: s.clock()})
+	}
+	return nil
+}
+
+// recover scans all segments in order, rebuilding the index. Only the
+// last segment may legitimately end in a torn record.
+func (s *Store) recover() error {
+	names, err := filepath.Glob(filepath.Join(s.opts.Dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	ids := make([]int, 0, len(names))
+	for _, n := range names {
+		base := filepath.Base(n)
+		var id int
+		if _, err := fmt.Sscanf(base, segPrefix+"%d", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for i, id := range ids {
+		if err := s.scanSegment(id, i == len(ids)-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSegment reads one segment sequentially, indexing its records. For
+// the last segment a torn tail is truncated; for earlier segments a bad
+// record is logged and the remainder skipped (the data after it is
+// unreachable without valid framing).
+func (s *Store) scanSegment(id int, last bool) error {
+	path := s.segPath(id)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	meta := &segMeta{id: id, size: fi.Size(), newest: fi.ModTime()}
+	s.segs = append(s.segs, meta)
+
+	br := bufio.NewReaderSize(f, 256<<10)
+	var off int64
+	segEvents, segRuns := 0, 0
+	var hdr [recHeaderLen]byte
+	payload := make([]byte, 0, 64<<10)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break // clean segment end
+			}
+			s.handleTorn(path, id, off, fi.Size(), last, segEvents, segRuns, meta)
+			return nil
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if plen == 0 || plen > maxRecordBytes {
+			s.handleTorn(path, id, off, fi.Size(), last, segEvents, segRuns, meta)
+			return nil
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			s.handleTorn(path, id, off, fi.Size(), last, segEvents, segRuns, meta)
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			s.handleTorn(path, id, off, fi.Size(), last, segEvents, segRuns, meta)
+			return nil
+		}
+		ref := recRef{seg: id, off: off, typ: payload[0]}
+		if n := s.indexRecord(ref, payload); n >= 0 {
+			segEvents += n
+			if payload[0] == recBegin {
+				segRuns++
+			}
+		}
+		off += recHeaderLen + int64(plen)
+	}
+	return nil
+}
+
+// handleTorn deals with a record that could not be read whole: the last
+// segment is truncated at the torn offset (crash recovery); an earlier
+// segment keeps its bytes but the remainder is unreachable. A
+// read-only open skips the tail in memory and leaves the file alone —
+// the tail may simply be the live writer's partially flushed buffer.
+func (s *Store) handleTorn(path string, id int, off, size int64, last bool, segEvents, segRuns int, meta *segMeta) {
+	if !last {
+		s.logf("tracestore: %s: corrupt record at offset %d; ignoring remainder (%d bytes)", path, off, size-off)
+		return
+	}
+	if s.opts.ReadOnly {
+		meta.size = off
+		s.truncatedBytes = size - off
+		s.recoveredEvents = segEvents
+		s.logf("tracestore: %s: ignoring torn tail record at offset %d (%d bytes, read-only open); recovered %d events in %d runs from segment",
+			path, off, size-off, segEvents, segRuns)
+		return
+	}
+	if err := os.Truncate(path, off); err != nil {
+		s.logf("tracestore: %s: truncating torn tail: %v", path, err)
+		return
+	}
+	meta.size = off
+	s.truncatedBytes = size - off
+	s.recoveredEvents = segEvents
+	s.logf("tracestore: %s: truncated torn tail record at offset %d (%d bytes); recovered %d events in %d runs from segment",
+		path, off, size-off, segEvents, segRuns)
+}
+
+// indexRecord folds one valid record into the index. It returns the
+// number of events the record carries (0 for begin/end, -1 when the
+// record was skipped).
+func (s *Store) indexRecord(ref recRef, payload []byte) int {
+	switch payload[0] {
+	case recBegin:
+		id, m, err := decodeBegin(payload[1:])
+		if err != nil {
+			s.logf("tracestore: skipping undecodable begin record: %v", err)
+			return -1
+		}
+		if _, dup := s.index[id]; dup {
+			s.logf("tracestore: duplicate run id %d; keeping first", id)
+			return -1
+		}
+		s.index[id] = &runEntry{
+			info: RunInfo{
+				ID: id, SQL: m.SQL, Start: m.Start,
+				Partitions: m.Partitions, Workers: m.Workers, Instructions: m.Instructions,
+			},
+			refs: []recRef{ref},
+		}
+		s.order = append(s.order, id)
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+		return 0
+	case recEvents:
+		id, count, err := decodeEventsHeader(payload[1:])
+		if err != nil {
+			s.logf("tracestore: skipping undecodable events record: %v", err)
+			return -1
+		}
+		e, ok := s.index[id]
+		if !ok {
+			return -1 // begin record was retired with an older segment
+		}
+		e.refs = append(e.refs, ref)
+		e.info.Events += count
+		return count
+	case recEnd:
+		id, st, err := decodeEnd(payload[1:])
+		if err != nil {
+			s.logf("tracestore: skipping undecodable end record: %v", err)
+			return -1
+		}
+		e, ok := s.index[id]
+		if !ok {
+			return -1
+		}
+		e.refs = append(e.refs, ref)
+		e.info.Complete = true
+		e.info.ElapsedUs = st.ElapsedUs
+		e.info.Rows = st.Rows
+		e.info.CacheHit = st.CacheHit
+		e.info.Err = st.Err
+		return 0
+	default:
+		s.logf("tracestore: skipping record of unknown type %d", payload[0])
+		return -1
+	}
+}
+
+// appendLocked writes one record to the active segment, rolling over
+// first when the record would push the segment past MaxSegmentBytes.
+func (s *Store) appendLocked(payload []byte) (recRef, error) {
+	if s.closed {
+		return recRef{}, fmt.Errorf("tracestore: store is closed")
+	}
+	if s.w == nil {
+		return recRef{}, fmt.Errorf("tracestore: store is read-only")
+	}
+	active := s.segs[len(s.segs)-1]
+	recLen := int64(recHeaderLen + len(payload))
+	if active.size > 0 && active.size+recLen > s.opts.MaxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return recRef{}, err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	off := active.size
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return recRef{}, fmt.Errorf("tracestore: %w", err)
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return recRef{}, fmt.Errorf("tracestore: %w", err)
+	}
+	active.size += recLen
+	active.newest = s.clock()
+	return recRef{seg: s.activeID, off: off, typ: payload[0]}, nil
+}
+
+// rotateLocked seals the active segment (flush + sync + close) and
+// starts the next one.
+func (s *Store) rotateLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	return s.openSegment(s.activeID + 1)
+}
+
+// Begin opens a new run and durably records its metadata. The returned
+// RunWriter is the durable sink for the run's profiler events.
+func (s *Store) Begin(meta RunMeta) (*RunWriter, error) {
+	if meta.Start.IsZero() {
+		meta.Start = s.clock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("tracestore: store is closed")
+	}
+	id := s.nextID
+	s.nextID++
+	ref, err := s.appendLocked(encodeBegin(id, meta))
+	if err != nil {
+		return nil, err
+	}
+	s.index[id] = &runEntry{
+		info: RunInfo{
+			ID: id, SQL: meta.SQL, Start: meta.Start,
+			Partitions: meta.Partitions, Workers: meta.Workers, Instructions: meta.Instructions,
+		},
+		refs: []recRef{ref},
+	}
+	s.order = append(s.order, id)
+	return &RunWriter{s: s, id: id}, nil
+}
+
+// RunWriter appends one run's events and completion record. It
+// implements profiler.Sink and profiler.BatchSink, so it tees directly
+// off a Profiler or a Batcher. Append errors are sticky: the first one
+// is kept and returned by Finish.
+type RunWriter struct {
+	s  *Store
+	id uint64
+
+	mu   sync.Mutex
+	err  error
+	done bool
+}
+
+// ID returns the run id.
+func (w *RunWriter) ID() uint64 { return w.id }
+
+// EmitBatch implements profiler.BatchSink: the batch is encoded into
+// one events record. The slice is consumed during the call, honoring
+// the BatchSink contract.
+func (w *RunWriter) EmitBatch(evs []profiler.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	payload := encodeEvents(w.id, evs) // encode outside the store lock
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done || w.err != nil {
+		return
+	}
+	s := w.s
+	s.mu.Lock()
+	ref, err := s.appendLocked(payload)
+	if err == nil {
+		if e, ok := s.index[w.id]; ok {
+			e.refs = append(e.refs, ref)
+			e.info.Events += len(evs)
+		}
+	}
+	s.mu.Unlock()
+	w.err = err
+}
+
+// Emit implements profiler.Sink (one-event batch).
+func (w *RunWriter) Emit(e profiler.Event) { w.EmitBatch([]profiler.Event{e}) }
+
+// Finish writes the end record and flushes the segment buffer so the
+// completed run is immediately durable against everything but power
+// loss (fsync happens on rollover and Close). It returns the first
+// append error of the run, if any.
+func (w *RunWriter) Finish(st RunStats) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return fmt.Errorf("tracestore: run %d already finished", w.id)
+	}
+	w.done = true
+	if w.err != nil {
+		return w.err
+	}
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, err := s.appendLocked(encodeEnd(w.id, st))
+	if err != nil {
+		return err
+	}
+	if e, ok := s.index[w.id]; ok {
+		e.refs = append(e.refs, ref)
+		e.info.Complete = true
+		e.info.ElapsedUs = st.ElapsedUs
+		e.info.Rows = st.Rows
+		e.info.CacheHit = st.CacheHit
+		e.info.Err = st.Err
+	}
+	return s.w.Flush()
+}
+
+// Runs lists all indexed runs in begin order.
+func (s *Store) Runs() []RunInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunInfo, 0, len(s.order))
+	for _, id := range s.order {
+		if e, ok := s.index[id]; ok {
+			out = append(out, e.info)
+		}
+	}
+	return out
+}
+
+// Run returns one run's metadata.
+func (s *Store) Run(id uint64) (RunInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[id]
+	if !ok {
+		return RunInfo{}, false
+	}
+	return e.info, true
+}
+
+// snapshot flushes pending appends and copies a run's index entry, so
+// the subsequent record reads need no lock.
+func (s *Store) snapshot(id uint64) (RunInfo, []recRef, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[id]
+	if !ok {
+		return RunInfo{}, nil, fmt.Errorf("tracestore: unknown run %d", id)
+	}
+	if !s.closed && s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			return RunInfo{}, nil, fmt.Errorf("tracestore: %w", err)
+		}
+	}
+	return e.info, append([]recRef(nil), e.refs...), nil
+}
+
+// readRecordAt reads and verifies one record.
+func readRecordAt(f *os.File, off int64) ([]byte, error) {
+	var hdr [recHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if plen == 0 || plen > maxRecordBytes {
+		return nil, fmt.Errorf("tracestore: implausible record length %d at offset %d", plen, off)
+	}
+	payload := make([]byte, plen)
+	if _, err := f.ReadAt(payload, off+recHeaderLen); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("tracestore: checksum mismatch at offset %d", off)
+	}
+	return payload, nil
+}
+
+// readRun visits the run's records of the wanted type in append order.
+func (s *Store) readRun(id uint64, want byte, visit func(payload []byte) error) (RunInfo, error) {
+	info, refs, err := s.snapshot(id)
+	if err != nil {
+		return info, err
+	}
+	var f *os.File
+	cur := -1
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	for _, ref := range refs {
+		if ref.typ != want {
+			continue
+		}
+		if ref.seg != cur {
+			if f != nil {
+				f.Close()
+			}
+			f, err = os.Open(s.segPath(ref.seg))
+			if err != nil {
+				return info, fmt.Errorf("tracestore: run %d: %w", id, err)
+			}
+			cur = ref.seg
+		}
+		payload, err := readRecordAt(f, ref.off)
+		if err != nil {
+			return info, fmt.Errorf("tracestore: run %d: %w", id, err)
+		}
+		if err := visit(payload[1:]); err != nil {
+			return info, err
+		}
+	}
+	return info, nil
+}
+
+// Events returns a run's full event stream in append order — identical
+// to what the profiler emitted while the query executed.
+func (s *Store) Events(id uint64) ([]profiler.Event, error) {
+	var out []profiler.Event
+	if _, err := s.readRun(id, recEvents, func(payload []byte) error {
+		var derr error
+		_, out, derr = decodeEvents(payload, out)
+		return derr
+	}); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = make([]profiler.Event, 0)
+	}
+	return out, nil
+}
+
+// Dot returns a run's stored plan dot text.
+func (s *Store) Dot(id uint64) (string, error) {
+	var dot string
+	_, err := s.readRun(id, recBegin, func(payload []byte) error {
+		_, m, derr := decodeBegin(payload)
+		if derr != nil {
+			return derr
+		}
+		dot = m.Dot
+		return nil
+	})
+	return dot, err
+}
+
+// Compact enforces the retention policy now: sealed segments are
+// deleted oldest-first while the store exceeds MaxTotalBytes, and any
+// sealed segment whose newest record is older than MaxAge is deleted.
+// Runs with any record in a deleted segment are dropped from the index.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("tracestore: store is closed")
+	}
+	if s.opts.ReadOnly {
+		return fmt.Errorf("tracestore: store is read-only")
+	}
+	now := s.clock()
+	var total int64
+	for _, sg := range s.segs {
+		total += sg.size
+	}
+	drop := map[int]bool{}
+	// The active segment (last) is never dropped.
+	for _, sg := range s.segs[:len(s.segs)-1] {
+		expired := s.opts.MaxAge > 0 && now.Sub(sg.newest) > s.opts.MaxAge
+		oversize := s.opts.MaxTotalBytes > 0 && total > s.opts.MaxTotalBytes
+		if !expired && !oversize {
+			break // segments are ordered; newer ones are no more expired
+		}
+		drop[sg.id] = true
+		total -= sg.size
+	}
+	if len(drop) == 0 {
+		return nil
+	}
+	var firstErr error
+	kept := s.segs[:0]
+	for _, sg := range s.segs {
+		if !drop[sg.id] {
+			kept = append(kept, sg)
+			continue
+		}
+		if err := os.Remove(s.segPath(sg.id)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("tracestore: %w", err)
+		}
+		s.droppedSegs++
+	}
+	s.segs = kept
+	keptOrder := s.order[:0]
+	for _, id := range s.order {
+		e, ok := s.index[id]
+		if !ok {
+			continue
+		}
+		retire := false
+		for _, ref := range e.refs {
+			if drop[ref.seg] {
+				retire = true
+				break
+			}
+		}
+		if retire {
+			delete(s.index, id)
+			s.droppedRuns++
+			continue
+		}
+		keptOrder = append(keptOrder, id)
+	}
+	s.order = keptOrder
+	return firstErr
+}
+
+// Stats snapshots the store's footprint and maintenance counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Segments:        len(s.segs),
+		Runs:            len(s.index),
+		RecoveredEvents: s.recoveredEvents,
+		TruncatedBytes:  s.truncatedBytes,
+		DroppedSegments: s.droppedSegs,
+		DroppedRuns:     s.droppedRuns,
+	}
+	for _, sg := range s.segs {
+		st.Bytes += sg.size
+	}
+	return st
+}
+
+// Close stops the background compactor, seals the active segment
+// (flush + fsync), and releases the writer lock. The store must not be
+// used afterwards.
+func (s *Store) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.closed = true
+		if s.w != nil {
+			if ferr := s.w.Flush(); ferr != nil {
+				err = fmt.Errorf("tracestore: %w", ferr)
+			}
+			if serr := s.f.Sync(); serr != nil && err == nil {
+				err = fmt.Errorf("tracestore: %w", serr)
+			}
+			if cerr := s.f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("tracestore: %w", cerr)
+			}
+		}
+		s.closeLock()
+	})
+	return err
+}
+
+// closeLock releases the writer lock file (flock drops with the fd).
+func (s *Store) closeLock() {
+	if s.lockF != nil {
+		s.lockF.Close()
+		s.lockF = nil
+	}
+}
+
+// callOf extracts the "module.function" call name of a MAL statement
+// ("" when the statement has no call).
+func callOf(stmt string) string {
+	s := stmt
+	if i := strings.Index(s, ":="); i >= 0 {
+		s = s[i+2:]
+	}
+	s = strings.TrimSpace(s)
+	i := strings.IndexByte(s, '(')
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSpace(s[:i])
+}
+
+// moduleOf extracts the MAL module of a statement (the profiler's
+// canonical spelling, mirrored by the core package).
+func moduleOf(stmt string) string { return profiler.ModuleOf(stmt) }

@@ -82,6 +82,10 @@ type Stats struct {
 	// CacheHit reports whether the optimized plan came from the shared
 	// plan cache (compilation was skipped entirely).
 	CacheHit bool
+	// RunID is the durable query-history id of this execution, usable
+	// with DB.History (Get, Replay, Compare). Zero when the DB was
+	// opened without WithHistory.
+	RunID uint64
 }
 
 // Result is one executed query: the optimized MAL plan, the profiler

@@ -19,17 +19,25 @@ type Server struct {
 // port). name is announced to clients. Canceling ctx (or calling Close)
 // stops the listener and aborts in-flight query executions.
 //
-// The server shares the DB's engine, optimizer pipeline, and compiled-
-// plan cache: TCP sessions and in-process Exec callers serve from (and
-// warm) the same plan state, and all of them may run concurrently.
+// The server shares the DB's engine, optimizer pipeline, compiled-plan
+// cache, and (when enabled) query history: TCP sessions and in-process
+// Exec callers serve from (and warm) the same plan state, their
+// executions land in the same durable trace store, and all of them
+// count into DB.Stats. With history enabled the protocol additionally
+// answers HISTORY LIST/TOP/INFO/TRACE/DOT/DIFF.
 func (db *DB) Serve(ctx context.Context, name, addr string) (*Server, error) {
-	srv := server.NewWithConfig(ctx, name, db.cat, server.Config{
+	cfg := server.Config{
 		Engine:   db.eng,
 		Cache:    db.cache,
 		NoCache:  db.cache == nil,
 		Pipeline: &db.pipeline,
 		PassSpec: db.passSpec,
-	})
+		OnQuery:  db.observeQuery,
+	}
+	if db.hist != nil {
+		cfg.History = db.hist.st
+	}
+	srv := server.NewWithConfig(ctx, name, db.cat, cfg)
 	if err := srv.Listen(addr); err != nil {
 		srv.Close() // release the derived context
 		return nil, fmt.Errorf("stethoscope: %w", err)
@@ -107,5 +115,51 @@ func (r *Remote) Explain(sql string) (string, error) {
 // Tables lists the server's catalog tables.
 func (r *Remote) Tables() ([]string, error) {
 	_, lines, err := r.c.Command("TABLES")
+	return lines, err
+}
+
+// HistoryList returns the server's recorded runs, most recent first,
+// one k=v line per run (id, start, elapsed_us, events, ..., sql).
+// n <= 0 lists everything. Requires a server with history enabled.
+func (r *Remote) HistoryList(n int) ([]string, error) {
+	cmd := "HISTORY LIST"
+	if n > 0 {
+		cmd = fmt.Sprintf("HISTORY LIST %d", n)
+	}
+	_, lines, err := r.c.Command(cmd)
+	return lines, err
+}
+
+// HistoryTop returns the server's n slowest completed runs, slowest
+// first, in the HistoryList line format.
+func (r *Remote) HistoryTop(n int) ([]string, error) {
+	_, lines, err := r.c.Command(fmt.Sprintf("HISTORY TOP %d", n))
+	return lines, err
+}
+
+// HistoryTrace fetches a recorded run's trace-file content. Pair it
+// with HistoryDot to reopen the run locally via OpenOffline.
+func (r *Remote) HistoryTrace(id uint64) (string, error) {
+	_, lines, err := r.c.Command(fmt.Sprintf("HISTORY TRACE %d", id))
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// HistoryDot fetches a recorded run's plan dot text.
+func (r *Remote) HistoryDot(id uint64) (string, error) {
+	_, lines, err := r.c.Command(fmt.Sprintf("HISTORY DOT %d", id))
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// HistoryDiff compares two recorded runs of the same SQL on the
+// server: a summary line (elapsed_delta_us, regression verdict)
+// followed by per-module delta lines.
+func (r *Remote) HistoryDiff(a, b uint64) ([]string, error) {
+	_, lines, err := r.c.Command(fmt.Sprintf("HISTORY DIFF %d %d", a, b))
 	return lines, err
 }

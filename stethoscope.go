@@ -19,6 +19,7 @@ import (
 	"stethoscope/internal/sql"
 	"stethoscope/internal/storage"
 	"stethoscope/internal/tpch"
+	"stethoscope/internal/tracestore"
 )
 
 // DefaultPlanCacheSize is the compiled-plan cache capacity Open uses
@@ -31,8 +32,9 @@ type config struct {
 	seed       uint64
 	partitions int
 	workers    int
-	passes     []string // nil selects the default optimizer pipeline
-	cacheSize  int      // compiled-plan cache capacity; 0 disables
+	passes     []string       // nil selects the default optimizer pipeline
+	cacheSize  int            // compiled-plan cache capacity; 0 disables
+	history    *HistoryConfig // nil disables the durable query history
 }
 
 // Option configures Open.
@@ -114,6 +116,7 @@ type DB struct {
 	cat      *storage.Catalog
 	eng      *engine.Engine
 	cache    *plancache.Cache // nil when caching is disabled
+	hist     *History         // nil when query history is disabled
 
 	opened   time.Time
 	inflight atomic.Int64
@@ -152,12 +155,29 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.cacheSize > 0 {
 		db.cache = plancache.New(cfg.cacheSize)
 	}
+	if cfg.history != nil {
+		hist, err := OpenHistoryConfig(*cfg.history)
+		if err != nil {
+			return nil, err
+		}
+		db.hist = hist
+	}
 	return db, nil
 }
 
-// Close releases the database. It exists for symmetry and future
-// resource ownership; the current implementation is purely in-memory.
-func (db *DB) Close() error { return nil }
+// Close releases the database. With history enabled it seals the trace
+// store (flush + fsync) and stops its background compactor; otherwise
+// the DB is purely in-memory and Close is a no-op.
+func (db *DB) Close() error {
+	if db.hist != nil {
+		return db.hist.Close()
+	}
+	return nil
+}
+
+// History returns the durable query-history handle, or nil when the DB
+// was opened without WithHistory.
+func (db *DB) History() *History { return db.hist }
 
 // TableInfo describes one catalog table.
 type TableInfo struct {
@@ -217,34 +237,37 @@ func (db *DB) execConfig(opts []ExecOption) execConfig {
 // consulting the shared plan cache first. cached reports whether the
 // whole parse → bind → compile → optimize chain was skipped. Cached
 // plans are shared between concurrent executions and must be treated as
-// immutable by callers.
-func (db *DB) compile(query string, partitions int) (plan *mal.Plan, stats OptimizerStats, cached bool, err error) {
+// immutable by callers. aux (nil when caching is disabled) memoizes
+// derived artifacts — notably the dot export the history store records
+// — so repeated executions of a cached plan render them once.
+func (db *DB) compile(query string, partitions int) (plan *mal.Plan, stats OptimizerStats, aux *plancache.Aux, cached bool, err error) {
 	key := plancache.Key{SQL: query, Partitions: partitions, Passes: db.passSpec}
 	if db.cache != nil {
 		if e, ok := db.cache.Get(key); ok {
-			return e.Plan, e.Opt, true, nil
+			return e.Plan, e.Opt, e.Aux, true, nil
 		}
 	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
-		return nil, stats, false, fmt.Errorf("stethoscope: parse: %w", err)
+		return nil, stats, nil, false, fmt.Errorf("stethoscope: parse: %w", err)
 	}
 	tree, err := algebra.Bind(stmt, db.cat)
 	if err != nil {
-		return nil, stats, false, fmt.Errorf("stethoscope: bind: %w", err)
+		return nil, stats, nil, false, fmt.Errorf("stethoscope: bind: %w", err)
 	}
 	plan, err = compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: partitions})
 	if err != nil {
-		return nil, stats, false, fmt.Errorf("stethoscope: compile: %w", err)
+		return nil, stats, nil, false, fmt.Errorf("stethoscope: compile: %w", err)
 	}
 	plan, stats, err = db.pipeline.Run(plan)
 	if err != nil {
-		return nil, stats, false, fmt.Errorf("stethoscope: optimize: %w", err)
+		return nil, stats, nil, false, fmt.Errorf("stethoscope: optimize: %w", err)
 	}
 	if db.cache != nil {
-		db.cache.Put(key, plancache.Entry{Plan: plan, Opt: stats})
+		aux = &plancache.Aux{}
+		db.cache.Put(key, plancache.Entry{Plan: plan, Opt: stats, Aux: aux})
 	}
-	return plan, stats, false, nil
+	return plan, stats, aux, false, nil
 }
 
 // Exec compiles, optimizes, and executes one SQL query under the
@@ -254,7 +277,7 @@ func (db *DB) compile(query string, partitions int) (plan *mal.Plan, stats Optim
 // instructions, dataflow runs stop dispatching work.
 func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Result, error) {
 	ec := db.execConfig(opts)
-	plan, ostats, cached, err := db.compile(query, ec.partitions)
+	plan, ostats, aux, cached, err := db.compile(query, ec.partitions)
 	if err != nil {
 		return nil, err
 	}
@@ -264,11 +287,51 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 	// The sink is private to this run and read only after it completes,
 	// so the lock-free variant applies.
 	sink := profiler.NewOwnedSliceSink(2 * len(plan.Instrs))
+	sinks := []profiler.Sink{sink}
+	// With history enabled, a durable sink tees batched events into the
+	// trace store while the query runs: events coalesce into
+	// DefaultAppendBatch-event records, so the hot path pays one
+	// buffered write per batch, not per event. The dot render and the
+	// begin-record append happen before the elapsed clock starts, so
+	// recorded wall times measure execution alone (the server QUERY
+	// path measures the same way, keeping cross-path Compare honest).
+	var rec *tracestore.RunWriter
+	var hb *profiler.Batcher
+	if db.hist != nil {
+		rec, err = db.hist.st.Begin(tracestore.RunMeta{
+			SQL:          query,
+			Dot:          plancache.DotText(plan, aux),
+			Partitions:   ec.partitions,
+			Workers:      ec.workers,
+			Instructions: len(plan.Instrs),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stethoscope: history: %w", err)
+		}
+		hb = profiler.NewBatcher(rec, tracestore.DefaultAppendBatch, 0)
+		sinks = append(sinks, hb)
+	}
 	start := time.Now()
 	res, err := db.eng.RunContext(ctx, plan, engine.Options{
 		Workers:  ec.workers,
-		Profiler: profiler.New(sink),
+		Profiler: profiler.New(sinks...),
 	})
+	elapsed := time.Since(start)
+	var runID uint64
+	if rec != nil {
+		hb.Close() // flush the tail batch into the store
+		st := tracestore.RunStats{ElapsedUs: elapsed.Microseconds()}
+		if err != nil {
+			st.Err = err.Error()
+		} else {
+			st.Rows = res.Rows()
+			st.CacheHit = cached
+		}
+		if herr := rec.Finish(st); herr != nil && err == nil {
+			return nil, fmt.Errorf("stethoscope: history: %w", herr)
+		}
+		runID = rec.ID()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -280,11 +343,12 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 		Query:     query,
 		Stats: Stats{
 			Optimizer:    ostats,
-			Elapsed:      time.Since(start),
+			Elapsed:      elapsed,
 			Instructions: len(plan.Instrs),
 			Partitions:   ec.partitions,
 			Workers:      ec.workers,
 			CacheHit:     cached,
+			RunID:        runID,
 		},
 		plan: plan,
 		res:  res,
@@ -295,7 +359,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 // returns the MAL listing.
 func (db *DB) Explain(query string, opts ...ExecOption) (string, error) {
 	ec := db.execConfig(opts)
-	plan, _, _, err := db.compile(query, ec.partitions)
+	plan, _, _, _, err := db.compile(query, ec.partitions)
 	if err != nil {
 		return "", err
 	}
@@ -309,15 +373,28 @@ type DBStats struct {
 	Cache plancache.Stats
 	// InFlight is the number of Exec calls currently executing.
 	InFlight int64
-	// Execs is the number of completed successful executions.
+	// Execs is the number of completed successful executions — both
+	// in-process Exec calls and QUERY commands of this DB's servers.
 	Execs int64
 	// Events is the total number of profiler events those executions
-	// produced.
+	// produced. The count is per event at the profiler, never per
+	// transport datagram: a query whose trace leaves as coalesced EVTB
+	// batches contributes exactly its event count, not its datagram
+	// count.
 	Events int64
 	// EventsPerSec is Events averaged over the DB's lifetime.
 	EventsPerSec float64
 	// Uptime is the time since Open.
 	Uptime time.Duration
+}
+
+// observeQuery folds one successful server-side QUERY execution into
+// the serving counters. events is the per-event count from the
+// profiler, counted once per event regardless of how the trace was
+// batched onto the wire.
+func (db *DB) observeQuery(events int) {
+	db.execs.Add(1)
+	db.events.Add(int64(events))
 }
 
 // Stats snapshots the serving counters: plan-cache effectiveness,
