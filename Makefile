@@ -32,10 +32,12 @@ bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # bench-record mirrors the CI bench-record job: the experiment
-# benchmarks, 3 repetitions, converted to BENCH_<sha>.json.
+# benchmarks, 3 repetitions, converted to BENCH_<sha>.json. When a
+# previous artifact is saved as BENCH_baseline.json, a per-benchmark
+# delta summary is printed (benchjson -baseline).
 bench-record:
-	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory' \
-		-benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_$(SHA).json
+	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory|BenchmarkParallelScaling' \
+		-benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json > BENCH_$(SHA).json
 	@echo wrote BENCH_$(SHA).json
 
 examples:

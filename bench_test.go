@@ -826,3 +826,35 @@ func BenchmarkMitosisSweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkParallelScaling is the perf trajectory of the adaptive
+// parallel execution path: one aggregate/group-by TPC-H pipeline
+// executed fully sequentially, on the partitioned plan at 1/4/8
+// dataflow workers, and under full auto tuning. Recorded by
+// bench-record into BENCH_<sha>.json, so the sequential-vs-parallel gap
+// is tracked commit over commit (cmd/benchjson -baseline prints the
+// delta in the CI log).
+func BenchmarkParallelScaling(b *testing.B) {
+	const q = "select l_returnflag, count(*) as n, min(l_quantity) as mn, max(l_quantity) as mx " +
+		"from lineitem where l_shipdate <= date '1998-09-02' group by l_returnflag order by l_returnflag"
+	db, err := Open(WithScaleFactor(0.05), WithSeed(42),
+		WithPartitions(Auto), WithWorkers(Auto))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opts ...ExecOption) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(context.Background(), q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, ExecPartitions(1), ExecWorkers(1)) })
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("partitions=8/workers=%d", workers), func(b *testing.B) {
+			run(b, ExecPartitions(8), ExecWorkers(workers))
+		})
+	}
+	b.Run("auto", func(b *testing.B) { run(b) })
+}

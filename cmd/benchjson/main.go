@@ -4,16 +4,25 @@
 // runs of the same benchmark (-count=N) become repeated records so the
 // consumer can compute its own spread.
 //
+// With -baseline FILE, a previously recorded document is compared
+// against the current run and a per-benchmark delta summary (best
+// ns/op, baseline vs current, signed percentage) is printed to stderr —
+// CI points this at the previous commit's artifact so the log shows the
+// perf trajectory without downloading anything.
+//
 // Usage:
 //
 //	go test -bench . -benchtime 1x -count 3 -run '^$' . | go run ./cmd/benchjson > BENCH_abc123.json
+//	go test -bench . ... | go run ./cmd/benchjson -baseline BENCH_prev.json > BENCH_cur.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +47,8 @@ type Document struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "previously recorded BENCH_<sha>.json to diff the current run against (summary on stderr)")
+	flag.Parse()
 	doc, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -49,6 +60,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			// A missing baseline is normal on the first recorded run.
+			fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); skipping delta summary\n", err)
+			return
+		}
+		defer f.Close()
+		var base Document
+		if err := json.NewDecoder(f).Decode(&base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: unreadable baseline %s: %v\n", *baseline, err)
+			return
+		}
+		for _, line := range DeltaSummary(base, doc) {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+}
+
+// bestNs reduces repeated records (-count=N) to the best ns/op per
+// benchmark name — the spread-insensitive statistic for delta lines.
+func bestNs(doc Document) map[string]float64 {
+	best := map[string]float64{}
+	for _, r := range doc.Benchmarks {
+		if cur, ok := best[r.Name]; !ok || r.NsPerOp < cur {
+			best[r.Name] = r.NsPerOp
+		}
+	}
+	return best
+}
+
+// DeltaSummary renders a baseline-vs-current comparison, one line per
+// benchmark present in both documents (sorted by name), plus lines for
+// benchmarks that appeared or disappeared.
+func DeltaSummary(base, cur Document) []string {
+	b, c := bestNs(base), bestNs(cur)
+	names := make([]string, 0, len(c))
+	for name := range c {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := []string{fmt.Sprintf("benchjson: delta vs baseline (%d benchmarks, best ns/op)", len(names))}
+	for _, name := range names {
+		curNs := c[name]
+		baseNs, ok := b[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("  %-60s %14.0f ns/op  (new)", name, curNs))
+			continue
+		}
+		pct := 0.0
+		if baseNs > 0 {
+			pct = (curNs - baseNs) / baseNs * 100
+		}
+		out = append(out, fmt.Sprintf("  %-60s %14.0f -> %14.0f ns/op  %+6.1f%%", name, baseNs, curNs, pct))
+	}
+	removed := make([]string, 0)
+	for name := range b {
+		if _, ok := c[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		out = append(out, fmt.Sprintf("  %-60s (removed)", name))
+	}
+	return out
 }
 
 // Parse reads `go test -bench` output and collects benchmark records.

@@ -48,3 +48,26 @@ func TestParseRejectsMalformed(t *testing.T) {
 		t.Fatalf("malformed lines produced %d records", len(doc.Benchmarks))
 	}
 }
+
+func TestDeltaSummary(t *testing.T) {
+	base := Document{Benchmarks: []Record{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkA", NsPerOp: 900}, // repeated run: best wins
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	cur := Document{Benchmarks: []Record{
+		{Name: "BenchmarkA", NsPerOp: 450},
+		{Name: "BenchmarkNew", NsPerOp: 77},
+	}}
+	lines := DeltaSummary(base, cur)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "BenchmarkA") || !strings.Contains(joined, "-50.0%") {
+		t.Errorf("missing improvement line:\n%s", joined)
+	}
+	if !strings.Contains(joined, "BenchmarkNew") || !strings.Contains(joined, "(new)") {
+		t.Errorf("missing new-benchmark line:\n%s", joined)
+	}
+	if !strings.Contains(joined, "BenchmarkGone") || !strings.Contains(joined, "(removed)") {
+		t.Errorf("missing removed-benchmark line:\n%s", joined)
+	}
+}

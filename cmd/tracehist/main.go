@@ -165,6 +165,9 @@ func show(h *stethoscope.History, id uint64) {
 	fmt.Printf("run %d\n  sql:          %s\n  start:        %s\n  elapsed:      %s\n  partitions:   %d\n  workers:      %d\n  instructions: %d\n  events:       %d\n  rows:         %d\n  cache hit:    %t\n",
 		r.ID, r.SQL, r.Start.Format(time.RFC3339), time.Duration(r.ElapsedUs)*time.Microsecond,
 		r.Partitions, r.Workers, r.Instructions, r.Events, r.Rows, r.CacheHit)
+	if r.AutoTuned {
+		fmt.Printf("  auto-tuned:   %s\n", r.TuneReason)
+	}
 	if r.Err != "" {
 		fmt.Printf("  error:        %s\n", r.Err)
 	}

@@ -8,6 +8,7 @@ import (
 	"stethoscope/internal/algebra"
 	"stethoscope/internal/compiler"
 	"stethoscope/internal/engine"
+	"stethoscope/internal/planner"
 	"stethoscope/internal/server"
 	"stethoscope/internal/sql"
 )
@@ -28,7 +29,8 @@ type DebugStep struct {
 }
 
 // Debug compiles a query without optimization and opens a stepping
-// session over it.
+// session over it. Partition settings pass through the same
+// normalization and Auto resolution as Exec and Explain.
 func (db *DB) Debug(query string, opts ...ExecOption) (*Debugger, error) {
 	ec := db.execConfig(opts)
 	stmt, err := sql.Parse(query)
@@ -39,7 +41,8 @@ func (db *DB) Debug(query string, opts ...ExecOption) (*Debugger, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stethoscope: bind: %w", err)
 	}
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: ec.partitions})
+	partitions, _ := planner.ResolvePartitions(db.cat, ec.partitions, tree)
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: partitions})
 	if err != nil {
 		return nil, fmt.Errorf("stethoscope: compile: %w", err)
 	}

@@ -228,6 +228,8 @@ func (h *History) Record(res *Result) (uint64, error) {
 		Partitions:   res.Stats.Partitions,
 		Workers:      res.Stats.Workers,
 		Instructions: res.Stats.Instructions,
+		AutoTuned:    res.Stats.AutoTuned,
+		TuneReason:   res.Stats.TuneReason,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("stethoscope: history: %w", err)

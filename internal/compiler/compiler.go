@@ -5,12 +5,20 @@
 // group.subgroup, aggr.sub*, ...), so even modest queries produce the rich
 // dataflow DAGs the paper's figures show.
 //
-// The Partitions option implements mitosis + mergetable: scan/filter
-// pipelines are split into horizontal slices (mat.slice), processed
-// independently, and reassembled (mat.pack). MonetDB performs this as a
-// MAL optimizer; we perform it at lowering time, which yields the same
-// plan shape — wide independent slices that the engine's dataflow
-// scheduler runs on multiple cores (experiments F2 and E7).
+// The Partitions option implements mitosis + mergetable: scans are split
+// into horizontal slices (mat.slice) and the operators above them —
+// filters, projections, aggregations, group-bys, distinct — run once per
+// slice, reassembling (mat.pack) only where an operator genuinely needs
+// the whole relation (joins, sorts, limits, the result set). Partial
+// aggregates recombine mergetable-style: partial sums and counts are
+// summed, partial minima/maxima re-minimized (skipping empty slices),
+// per-slice group representatives are regrouped. MonetDB performs this
+// as a MAL optimizer; we perform it at lowering time, which yields the
+// same plan shape — wide independent slices that the engine's dataflow
+// scheduler runs on multiple cores (experiments F2 and E7). Degenerate
+// fragments this lowering can leave behind (packs of one slice, packs
+// that reassemble an unmodified scan) are folded away by the
+// optimizer's matfold pass.
 package compiler
 
 import (
@@ -39,7 +47,7 @@ func Compile(tree algebra.Node, queryText string, opt Options) (*mal.Plan, error
 	if err != nil {
 		return nil, err
 	}
-	c.epilogue(r)
+	c.epilogue(c.packed(r))
 	c.plan.Renumber()
 	if err := c.plan.Validate(); err != nil {
 		return nil, fmt.Errorf("compiler: generated invalid plan: %w", err)
@@ -47,11 +55,72 @@ func Compile(tree algebra.Node, queryText string, opt Options) (*mal.Plan, error
 	return c.plan, nil
 }
 
-// rel is a materialized intermediate relation: one aligned MAL BAT
-// variable per schema column.
+// rel is an intermediate relation in one of three shapes. Packed: one
+// aligned MAL BAT variable per schema column (cols). Partitioned (the
+// mitosis form): parts[p][i] holds column i of horizontal slice p; the
+// slices concatenated in order are the relation. Lazily partitioned
+// (sliceable): a scan whose bound columns sit in cols and whose
+// slicing is deferred — the first operator that actually works
+// partition-wise materializes the mat.slice instructions
+// (forcePartitioned), while a consumer that needs the whole relation
+// takes the bound columns as-is, so scans nothing exploits never pay a
+// slice/pack chain regardless of which optimizer passes run. Operators
+// that work row-at-a-time (filter, project) consume and produce the
+// partitioned form unchanged; aggregation merges it; everything else
+// packs first.
 type rel struct {
 	schema algebra.Schema
 	cols   []int
+	parts  [][]int
+	// sliceable marks cols as a scan eligible for deferred mitosis
+	// slicing into opt.Partitions pieces.
+	sliceable bool
+}
+
+func (r rel) partitioned() bool { return r.parts != nil || r.sliceable }
+
+// part views one slice of a partitioned rel as a packed rel.
+func (r rel) part(p int) rel { return rel{schema: r.schema, cols: r.parts[p]} }
+
+// forcePartitioned materializes the mitosis form: a lazily-sliceable
+// scan emits its mat.slice instructions now; an already-partitioned
+// rel passes through.
+func (c *compiler) forcePartitioned(r rel) rel {
+	if !r.sliceable {
+		return r
+	}
+	k := c.opt.Partitions
+	out := rel{schema: r.schema, parts: make([][]int, k)}
+	for p := 0; p < k; p++ {
+		for _, v := range r.cols {
+			sv := c.plan.Emit1("mat", "slice", c.plan.VarType(v),
+				mal.VarArg(v), mal.ConstOf(mal.Int64(int64(p))), mal.ConstOf(mal.Int64(int64(k))))
+			out.parts[p] = append(out.parts[p], sv)
+		}
+	}
+	return out
+}
+
+// packed reassembles a partitioned rel with one mat.pack per column
+// (mergetable). A lazily-sliceable scan is already whole — its bound
+// columns are returned directly, with no instructions emitted — and
+// packed input passes through untouched.
+func (c *compiler) packed(r rel) rel {
+	if r.sliceable {
+		return rel{schema: r.schema, cols: r.cols}
+	}
+	if r.parts == nil {
+		return r
+	}
+	out := rel{schema: r.schema}
+	for i := range r.schema {
+		args := make([]mal.Arg, len(r.parts))
+		for p := range r.parts {
+			args[p] = mal.VarArg(r.parts[p][i])
+		}
+		out.cols = append(out.cols, c.plan.Emit1("mat", "pack", kindToBAT(r.schema[i].Kind), args...))
+	}
+	return out
 }
 
 type compiler struct {
@@ -161,19 +230,42 @@ func (c *compiler) bindScan(s *algebra.Scan) rel {
 	return r
 }
 
-func (c *compiler) lowerScan(s *algebra.Scan) rel { return c.bindScan(s) }
-
-// lowerFilter applies mitosis when the filter sits directly on a scan and
-// partitioning is enabled; otherwise it filters the materialized input.
-func (c *compiler) lowerFilter(f *algebra.Filter) (rel, error) {
-	if scan, ok := f.Input.(*algebra.Scan); ok && c.opt.Partitions > 1 {
-		return c.lowerPartitionedFilter(scan, f.Pred)
+// lowerScan binds the table columns and, with partitioning enabled,
+// marks them sliceable: the first downstream row-wise operator
+// materializes the mitosis slices and runs once per slice until
+// something forces a pack, while consumers that need the whole
+// relation (joins, sorts, the result epilogue) take the bound columns
+// directly with no mitosis overhead at all.
+func (c *compiler) lowerScan(s *algebra.Scan) rel {
+	base := c.bindScan(s)
+	if c.opt.Partitions <= 1 {
+		return base
 	}
+	base.sliceable = true
+	return base
+}
+
+// lowerFilter filters each partition independently when the input is in
+// the mitosis form (selection is row-local), and the packed relation
+// otherwise.
+func (c *compiler) lowerFilter(f *algebra.Filter) (rel, error) {
 	in, err := c.lower(f.Input)
 	if err != nil {
 		return rel{}, err
 	}
-	return c.applyFilter(in, f.Pred)
+	if !in.partitioned() {
+		return c.applyFilter(in, f.Pred)
+	}
+	in = c.forcePartitioned(in)
+	out := rel{schema: in.schema, parts: make([][]int, len(in.parts))}
+	for p := range in.parts {
+		fp, err := c.applyFilter(in.part(p), f.Pred)
+		if err != nil {
+			return rel{}, err
+		}
+		out.parts[p] = fp.cols
+	}
+	return out, nil
 }
 
 // applyFilter narrows rel to the rows satisfying pred and re-materializes
@@ -471,44 +563,8 @@ func foldConst(op string, l, r operand, k storage.Kind) (operand, error) {
 	return operand{}, fmt.Errorf("compiler: cannot fold %q", op)
 }
 
-// lowerPartitionedFilter is the mitosis path: slice every scanned column
-// into Partitions horizontal pieces (mat.slice), run the selection and
-// projection chain per slice, and reassemble with mat.pack (mergetable).
-func (c *compiler) lowerPartitionedFilter(scan *algebra.Scan, pred algebra.Expr) (rel, error) {
-	base := c.bindScan(scan)
-	k := c.opt.Partitions
-
-	// Per-partition output vars, per column.
-	parts := make([][]int, len(base.cols))
-	for p := 0; p < k; p++ {
-		sliced := rel{schema: base.schema}
-		for _, v := range base.cols {
-			sv := c.plan.Emit1("mat", "slice", c.plan.VarType(v),
-				mal.VarArg(v), mal.ConstOf(mal.Int64(int64(p))), mal.ConstOf(mal.Int64(int64(k))))
-			sliced.cols = append(sliced.cols, sv)
-		}
-		cands, err := c.candidates(sliced, pred)
-		if err != nil {
-			return rel{}, err
-		}
-		for i, v := range sliced.cols {
-			pv := c.plan.Emit1("algebra", "leftjoin", kindToBAT(base.schema[i].Kind),
-				mal.VarArg(cands), mal.VarArg(v))
-			parts[i] = append(parts[i], pv)
-		}
-	}
-	out := rel{schema: base.schema}
-	for i := range base.cols {
-		args := make([]mal.Arg, len(parts[i]))
-		for j, pv := range parts[i] {
-			args[j] = mal.VarArg(pv)
-		}
-		packed := c.plan.Emit1("mat", "pack", kindToBAT(base.schema[i].Kind), args...)
-		out.cols = append(out.cols, packed)
-	}
-	return out, nil
-}
-
+// lowerJoin packs both inputs first: the hash join needs whole
+// relations (join mitosis is out of scope).
 func (c *compiler) lowerJoin(j *algebra.Join) (rel, error) {
 	l, err := c.lower(j.L)
 	if err != nil {
@@ -518,6 +574,7 @@ func (c *compiler) lowerJoin(j *algebra.Join) (rel, error) {
 	if err != nil {
 		return rel{}, err
 	}
+	l, r = c.packed(l), c.packed(r)
 	lo := c.plan.NewVar(mal.TBATOID)
 	ro := c.plan.NewVar(mal.TBATOID)
 	c.plan.Emit("algebra", "join", []int{lo, ro},
@@ -544,11 +601,30 @@ var aggrFunc = map[storage.AggrKind]string{
 	storage.AggrAvg:   "avg",
 }
 
+// mergeable reports whether every aggregate of the list decomposes into
+// per-partition partials plus a recombination step: sum and count
+// partials are summed, min/max partials re-minimized. Avg does not
+// decompose losslessly in this instruction set (sum/count division
+// would change the output type for integer columns), so its presence
+// routes the group-by through the packed path.
+func mergeable(aggs []algebra.AggSpec) bool {
+	for _, a := range aggs {
+		if !a.CountStar && a.Func == storage.AggrAvg {
+			return false
+		}
+	}
+	return true
+}
+
 func (c *compiler) lowerGroupAgg(g *algebra.GroupAgg) (rel, error) {
 	in, err := c.lower(g.Input)
 	if err != nil {
 		return rel{}, err
 	}
+	if in.partitioned() && mergeable(g.Aggs) {
+		return c.lowerMergedGroupAgg(g, c.forcePartitioned(in))
+	}
+	in = c.packed(in)
 	out := rel{schema: g.Schema()}
 
 	if len(g.Keys) == 0 {
@@ -563,13 +639,46 @@ func (c *compiler) lowerGroupAgg(g *algebra.GroupAgg) (rel, error) {
 		return out, nil
 	}
 
-	// Chain group.subgroup over the key expressions.
-	groups, extents := -1, -1
-	for _, kx := range g.Keys {
-		kv, err := c.exprVar(in, kx)
+	kvs, err := c.keyVars(in, g.Keys)
+	if err != nil {
+		return rel{}, err
+	}
+	groups, extents := c.subgroupChain(kvs)
+	// Key output columns: representative rows via extents.
+	for i, kv := range kvs {
+		v := c.plan.Emit1("algebra", "leftjoin", kindToBAT(g.Keys[i].Kind()),
+			mal.VarArg(extents), mal.VarArg(kv))
+		out.cols = append(out.cols, v)
+	}
+	for _, a := range g.Aggs {
+		v, err := c.subAggr(in, a, groups, extents)
 		if err != nil {
 			return rel{}, err
 		}
+		out.cols = append(out.cols, v)
+	}
+	return out, nil
+}
+
+// keyVars compiles the group-key expressions over in.
+func (c *compiler) keyVars(in rel, keys []algebra.Expr) ([]int, error) {
+	kvs := make([]int, len(keys))
+	for j, kx := range keys {
+		kv, err := c.exprVar(in, kx)
+		if err != nil {
+			return nil, err
+		}
+		kvs[j] = kv
+	}
+	return kvs, nil
+}
+
+// subgroupChain chains group.subgroup over the key columns, refining
+// the grouping left to right; it returns the final groups/extents vars
+// (-1/-1 for an empty key list).
+func (c *compiler) subgroupChain(keys []int) (groups, extents int) {
+	groups, extents = -1, -1
+	for _, kv := range keys {
 		ng := c.plan.NewVar(mal.TBATOID)
 		ne := c.plan.NewVar(mal.TBATOID)
 		args := []mal.Arg{mal.VarArg(kv)}
@@ -579,32 +688,151 @@ func (c *compiler) lowerGroupAgg(g *algebra.GroupAgg) (rel, error) {
 		c.plan.Emit("group", "subgroup", []int{ng, ne}, args...)
 		groups, extents = ng, ne
 	}
-	// Key output columns: representative rows via extents.
-	for i, kx := range g.Keys {
-		kv, err := c.exprVar(in, kx)
-		if err != nil {
-			return rel{}, err
-		}
-		v := c.plan.Emit1("algebra", "leftjoin", kindToBAT(g.Keys[i].Kind()),
-			mal.VarArg(extents), mal.VarArg(kv))
-		out.cols = append(out.cols, v)
+	return groups, extents
+}
+
+// subAggr emits one grouped aggregate of a over in under the grouping.
+func (c *compiler) subAggr(in rel, a algebra.AggSpec, groups, extents int) (int, error) {
+	if a.CountStar {
+		return c.plan.Emit1("aggr", "subcount", mal.TBATInt,
+			mal.VarArg(groups), mal.VarArg(extents)), nil
 	}
-	for _, a := range g.Aggs {
-		var v int
-		if a.CountStar {
-			v = c.plan.Emit1("aggr", "subcount", mal.TBATInt,
-				mal.VarArg(groups), mal.VarArg(extents))
-		} else {
-			av, err := c.exprVar(in, a.Arg)
+	av, err := c.exprVar(in, a.Arg)
+	if err != nil {
+		return 0, err
+	}
+	return c.plan.Emit1("aggr", "sub"+aggrFunc[a.Func], kindToBAT(a.K),
+		mal.VarArg(av), mal.VarArg(groups), mal.VarArg(extents)), nil
+}
+
+// partialType is the BAT type of a per-partition partial aggregate:
+// counts are integral regardless of the input column, everything else
+// keeps the aggregate's output kind.
+func partialType(a algebra.AggSpec) mal.Type {
+	if a.CountStar || a.Func == storage.AggrCount {
+		return mal.TBATInt
+	}
+	return kindToBAT(a.K)
+}
+
+// packCol packs per-partition column vars into one BAT.
+func (c *compiler) packCol(parts []int, t mal.Type) int {
+	args := make([]mal.Arg, len(parts))
+	for i, v := range parts {
+		args[i] = mal.VarArg(v)
+	}
+	return c.plan.Emit1("mat", "pack", t, args...)
+}
+
+// lowerMergedGroupAgg is the mergetable aggregation path: each slice is
+// pre-aggregated independently, the per-slice results are packed, and a
+// combine stage recomputes the final aggregates over the (tiny) packed
+// partials — partial sums and counts are summed, partial minima and
+// maxima re-minimized. The merged grouping preserves the sequential
+// plan's first-appearance group order, so counts, min/max, integral
+// sums and key columns are byte-identical to the unpartitioned
+// lowering; float sums re-associate the additions (partial sums per
+// slice) and may differ in the last bits, as MonetDB's mitosis does.
+func (c *compiler) lowerMergedGroupAgg(g *algebra.GroupAgg, in rel) (rel, error) {
+	out := rel{schema: g.Schema()}
+	k := len(in.parts)
+
+	if len(g.Keys) == 0 {
+		for _, a := range g.Aggs {
+			v, err := c.mergedGlobalAggr(in, a)
 			if err != nil {
 				return rel{}, err
 			}
-			v = c.plan.Emit1("aggr", "sub"+aggrFunc[a.Func], kindToBAT(a.K),
-				mal.VarArg(av), mal.VarArg(groups), mal.VarArg(extents))
+			out.cols = append(out.cols, v)
 		}
-		out.cols = append(out.cols, v)
+		return out, nil
+	}
+
+	// Per-partition pre-aggregation: local grouping, one representative
+	// row per local group, one partial per aggregate per local group.
+	keyParts := make([][]int, len(g.Keys)) // keyParts[j][p]
+	aggParts := make([][]int, len(g.Aggs)) // aggParts[ai][p]
+	for p := 0; p < k; p++ {
+		pr := in.part(p)
+		kvs, err := c.keyVars(pr, g.Keys)
+		if err != nil {
+			return rel{}, err
+		}
+		groups, extents := c.subgroupChain(kvs)
+		for j, kv := range kvs {
+			keyParts[j] = append(keyParts[j], c.plan.Emit1("algebra", "leftjoin",
+				kindToBAT(g.Keys[j].Kind()), mal.VarArg(extents), mal.VarArg(kv)))
+		}
+		for ai, a := range g.Aggs {
+			pv, err := c.subAggr(pr, a, groups, extents)
+			if err != nil {
+				return rel{}, err
+			}
+			aggParts[ai] = append(aggParts[ai], pv)
+		}
+	}
+
+	// Combine: pack the per-slice group representatives, regroup them
+	// (first appearance over the packed order equals first appearance
+	// over the full relation), and recombine the packed partials under
+	// the merged grouping.
+	packedKeys := make([]int, len(g.Keys))
+	for j := range g.Keys {
+		packedKeys[j] = c.packCol(keyParts[j], kindToBAT(g.Keys[j].Kind()))
+	}
+	groups, extents := c.subgroupChain(packedKeys)
+	for j, pk := range packedKeys {
+		out.cols = append(out.cols, c.plan.Emit1("algebra", "leftjoin",
+			kindToBAT(g.Keys[j].Kind()), mal.VarArg(extents), mal.VarArg(pk)))
+	}
+	for ai, a := range g.Aggs {
+		packed := c.packCol(aggParts[ai], partialType(a))
+		fn := aggrFunc[a.Func]
+		if a.CountStar || a.Func == storage.AggrCount || a.Func == storage.AggrSum {
+			fn = "sum" // partial counts and sums recombine by summation
+		}
+		out.cols = append(out.cols, c.plan.Emit1("aggr", "sub"+fn, partialType(a),
+			mal.VarArg(packed), mal.VarArg(groups), mal.VarArg(extents)))
 	}
 	return out, nil
+}
+
+// mergedGlobalAggr computes one global aggregate over a partitioned
+// relation: per-slice partials packed and recombined. Min/max guard
+// against empty slices, whose partials are zero-valued placeholders
+// that must not participate in the recombination: the per-slice row
+// counts select the live partials (thetaselect > 0) first.
+func (c *compiler) mergedGlobalAggr(in rel, a algebra.AggSpec) (int, error) {
+	k := len(in.parts)
+	needGuard := !a.CountStar && (a.Func == storage.AggrMin || a.Func == storage.AggrMax)
+	partials := make([]int, k)
+	counts := make([]int, k)
+	for p := 0; p < k; p++ {
+		pr := in.part(p)
+		if a.CountStar {
+			partials[p] = c.plan.Emit1("aggr", "count", mal.TBATInt, mal.VarArg(pr.cols[0]))
+			continue
+		}
+		av, err := c.exprVar(pr, a.Arg)
+		if err != nil {
+			return 0, err
+		}
+		partials[p] = c.plan.Emit1("aggr", aggrFunc[a.Func], partialType(a), mal.VarArg(av))
+		if needGuard {
+			counts[p] = c.plan.Emit1("aggr", "count", mal.TBATInt, mal.VarArg(av))
+		}
+	}
+	packed := c.packCol(partials, partialType(a))
+	if !needGuard {
+		// Partial counts and sums both recombine by summation.
+		return c.plan.Emit1("aggr", "sum", partialType(a), mal.VarArg(packed)), nil
+	}
+	packedCounts := c.packCol(counts, mal.TBATInt)
+	live := c.plan.Emit1("algebra", "thetaselect", mal.TBATOID,
+		mal.VarArg(packedCounts), mal.ConstOf(mal.Str(">")), mal.ConstOf(mal.Int64(0)))
+	liveVals := c.plan.Emit1("algebra", "leftjoin", partialType(a),
+		mal.VarArg(live), mal.VarArg(packed))
+	return c.plan.Emit1("aggr", aggrFunc[a.Func], partialType(a), mal.VarArg(liveVals)), nil
 }
 
 func (c *compiler) globalAggr(in rel, a algebra.AggSpec) (int, error) {
@@ -634,10 +862,28 @@ func (c *compiler) exprVar(in rel, e algebra.Expr) (int, error) {
 	return op.varID, nil
 }
 
+// lowerProject computes the output expressions per partition when the
+// input is in the mitosis form (expressions are row-local), and over
+// the packed relation otherwise.
 func (c *compiler) lowerProject(p *algebra.Project) (rel, error) {
 	in, err := c.lower(p.Input)
 	if err != nil {
 		return rel{}, err
+	}
+	if in.partitioned() {
+		in = c.forcePartitioned(in)
+		out := rel{schema: p.Schema(), parts: make([][]int, len(in.parts))}
+		for pi := range in.parts {
+			pr := in.part(pi)
+			for _, e := range p.Exprs {
+				v, err := c.exprVar(pr, e)
+				if err != nil {
+					return rel{}, err
+				}
+				out.parts[pi] = append(out.parts[pi], v)
+			}
+		}
+		return out, nil
 	}
 	out := rel{schema: p.Schema()}
 	for _, e := range p.Exprs {
@@ -650,22 +896,27 @@ func (c *compiler) lowerProject(p *algebra.Project) (rel, error) {
 	return out, nil
 }
 
+// lowerDistinct deduplicates each partition locally first (mergetable:
+// the merged dedup then runs over the per-slice survivors, not the full
+// relation), then deduplicates the packed survivors. First-appearance
+// order of the packed survivors equals first-appearance order of the
+// full relation, so the output matches the sequential lowering.
 func (c *compiler) lowerDistinct(d *algebra.Distinct) (rel, error) {
 	in, err := c.lower(d.Input)
 	if err != nil {
 		return rel{}, err
 	}
-	groups, extents := -1, -1
-	for _, v := range in.cols {
-		ng := c.plan.NewVar(mal.TBATOID)
-		ne := c.plan.NewVar(mal.TBATOID)
-		args := []mal.Arg{mal.VarArg(v)}
-		if groups >= 0 {
-			args = append(args, mal.VarArg(groups))
+	if in.partitioned() {
+		in = c.forcePartitioned(in)
+		dp := rel{schema: in.schema, parts: make([][]int, len(in.parts))}
+		for p := range in.parts {
+			pr := in.part(p)
+			_, extents := c.subgroupChain(pr.cols)
+			dp.parts[p] = c.projectAll(pr, extents).cols
 		}
-		c.plan.Emit("group", "subgroup", []int{ng, ne}, args...)
-		groups, extents = ng, ne
+		in = c.packed(dp)
 	}
+	_, extents := c.subgroupChain(in.cols)
 	return c.projectAll(in, extents), nil
 }
 
@@ -674,6 +925,7 @@ func (c *compiler) lowerSort(s *algebra.Sort) (rel, error) {
 	if err != nil {
 		return rel{}, err
 	}
+	in = c.packed(in)
 	// Stable multi-key sort: apply keys from least to most significant;
 	// each pass permutes every column through the sort order.
 	cur := in
@@ -691,6 +943,7 @@ func (c *compiler) lowerLimit(l *algebra.Limit) (rel, error) {
 	if err != nil {
 		return rel{}, err
 	}
+	in = c.packed(in)
 	out := rel{schema: in.schema}
 	for i, v := range in.cols {
 		s := c.plan.Emit1("algebra", "slice", kindToBAT(in.schema[i].Kind),

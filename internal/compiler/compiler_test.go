@@ -85,9 +85,107 @@ func TestMitosisPartitioning(t *testing.T) {
 	if n := countInstrs(part, "algebra.thetaselect"); n != 8 {
 		t.Errorf("thetaselect count = %d, want 8", n)
 	}
-	// One pack per column.
-	if n := countInstrs(part, "mat.pack"); n != 2 {
-		t.Errorf("mat.pack count = %d, want 2", n)
+	// One pack for the single projected output column: the projection
+	// runs per partition, so the filtered l_partkey column is never
+	// reassembled at all.
+	if n := countInstrs(part, "mat.pack"); n != 1 {
+		t.Errorf("mat.pack count = %d, want 1", n)
+	}
+}
+
+func TestMitosisBareScan(t *testing.T) {
+	// Even without a filter, a scan is sliced and reassembled; the
+	// matfold optimizer pass later collapses the degenerate
+	// slice-then-pack chain (tested in internal/optimizer).
+	plan := compileQuery(t, "select l_tax from lineitem", Options{Partitions: 4})
+	if n := countInstrs(plan, "mat.slice"); n != 4 {
+		t.Errorf("mat.slice count = %d, want 4", n)
+	}
+	if n := countInstrs(plan, "mat.pack"); n != 1 {
+		t.Errorf("mat.pack count = %d, want 1", n)
+	}
+}
+
+func TestMitosisGlobalAggregate(t *testing.T) {
+	// sum over a filtered scan: per-partition filter + partial sums,
+	// one pack of the partials, one combining sum.
+	plan := compileQuery(t,
+		"select sum(l_quantity) from lineitem where l_partkey < 100", Options{Partitions: 4})
+	if n := countInstrs(plan, "aggr.sum"); n != 5 {
+		t.Errorf("aggr.sum count = %d, want 5 (4 partials + 1 combine)", n)
+	}
+	if n := countInstrs(plan, "mat.pack"); n != 1 {
+		t.Errorf("mat.pack count = %d, want 1 (packed partials)", n)
+	}
+	if n := countInstrs(plan, "algebra.thetaselect"); n != 4 {
+		t.Errorf("thetaselect count = %d, want 4 (per-partition filter)", n)
+	}
+}
+
+func TestMitosisGlobalMinGuardsEmptySlices(t *testing.T) {
+	// min/max recombination must skip empty slices: the partial of an
+	// empty slice is a zero-valued placeholder. The plan therefore
+	// carries per-slice counts and a thetaselect > 0 over them.
+	plan := compileQuery(t, "select min(l_quantity) from lineitem", Options{Partitions: 4})
+	if n := countInstrs(plan, "aggr.min"); n != 5 {
+		t.Errorf("aggr.min count = %d, want 5 (4 partials + 1 combine)", n)
+	}
+	if n := countInstrs(plan, "aggr.count"); n != 4 {
+		t.Errorf("aggr.count count = %d, want 4 (per-slice liveness)", n)
+	}
+	if n := countInstrs(plan, "algebra.thetaselect"); n != 1 {
+		t.Errorf("thetaselect count = %d, want 1 (live-slice guard)", n)
+	}
+}
+
+func TestMitosisGroupBy(t *testing.T) {
+	plan := compileQuery(t,
+		"select l_returnflag, sum(l_quantity), count(*) from lineitem group by l_returnflag",
+		Options{Partitions: 4})
+	// One subgroup per partition plus the merge regroup.
+	if n := countInstrs(plan, "group.subgroup"); n != 5 {
+		t.Errorf("subgroup count = %d, want 5", n)
+	}
+	// Partial sums per partition, then one combining subsum for the sum
+	// aggregate and one for the count partials (counts recombine by
+	// summation).
+	if n := countInstrs(plan, "aggr.subsum"); n != 6 {
+		t.Errorf("subsum count = %d, want 6 (4 partials + 2 combines)", n)
+	}
+	if n := countInstrs(plan, "aggr.subcount"); n != 4 {
+		t.Errorf("subcount count = %d, want 4 (per-partition partials)", n)
+	}
+	// Packs: key representatives, sum partials, count partials.
+	if n := countInstrs(plan, "mat.pack"); n != 3 {
+		t.Errorf("mat.pack count = %d, want 3", n)
+	}
+}
+
+func TestMitosisAvgFallsBackToPackedGroupBy(t *testing.T) {
+	// avg does not decompose into partials in this instruction set: the
+	// group-by must run over the packed relation (one subgroup total).
+	plan := compileQuery(t,
+		"select l_returnflag, avg(l_quantity) from lineitem group by l_returnflag",
+		Options{Partitions: 4})
+	if n := countInstrs(plan, "aggr.subavg"); n != 1 {
+		t.Errorf("subavg count = %d, want 1", n)
+	}
+	if n := countInstrs(plan, "group.subgroup"); n != 1 {
+		t.Errorf("subgroup count = %d, want 1 (packed fallback)", n)
+	}
+	// The scan was never sliced: its deferred mitosis form hands the
+	// bound columns to the fallback directly, with no slice/pack chain.
+	if n := countInstrs(plan, "mat.pack") + countInstrs(plan, "mat.slice"); n != 0 {
+		t.Errorf("mat instruction count = %d, want 0 (lazy scan, packed fallback)", n)
+	}
+}
+
+func TestMitosisDistinct(t *testing.T) {
+	plan := compileQuery(t, "select distinct l_returnflag from lineitem", Options{Partitions: 4})
+	// Per-partition dedup (4) plus the merged dedup over the packed
+	// survivors.
+	if n := countInstrs(plan, "group.subgroup"); n != 5 {
+		t.Errorf("subgroup count = %d, want 5", n)
 	}
 }
 

@@ -10,7 +10,9 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"stethoscope/internal/mal"
 	"stethoscope/internal/profiler"
@@ -299,51 +301,116 @@ func (e *Engine) runSequential(cctx context.Context, ctx *Context, opt Options) 
 	return nil
 }
 
+// deque is one worker's ready queue. The owner pushes and pops at the
+// back (LIFO: freshly-unblocked instructions reuse the producer's warm
+// cache lines); thieves steal from the front (FIFO: the oldest, most
+// independent work migrates). Each deque has its own mutex, so the only
+// contention is between one owner and an occasional thief — never
+// all-workers-on-one-lock.
+type deque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (d *deque) push(pc int) {
+	d.mu.Lock()
+	d.items = append(d.items, pc)
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return 0, false
+	}
+	pc := d.items[n-1]
+	d.items = d.items[:n-1]
+	return pc, true
+}
+
+func (d *deque) steal() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	pc := d.items[0]
+	d.items = d.items[1:]
+	return pc, true
+}
+
 // runDataflow executes the plan's dataflow DAG on opt.Workers goroutines
 // using dependency counting: an instruction becomes ready when all its
 // producers have finished. Side-effecting instructions additionally chain
 // on the previous side-effecting instruction to preserve their order.
+//
+// Scheduling is built for low contention on wide mitosis plans: pending
+// dependency counts are per-instruction atomics (a completion touches
+// only its consumers, not a global lock), each worker owns a ready
+// deque and steals from its peers when its own runs dry, and a buffered
+// token channel — one token per enqueued instruction — is the only
+// shared structure, parking idle workers without any lost-wakeup
+// window. The run-outcome mutex is touched once per run end, never per
+// instruction.
 func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) error {
 	plan := ctx.Plan
 	n := len(plan.Instrs)
 	if n == 0 {
 		return nil
 	}
+	// One dependency-graph walk per run: Uses() would recompute Deps()
+	// internally, so transpose the edge list locally instead.
 	deps := plan.Deps()
-	uses := plan.Uses()
+	uses := make([][]int, n)
+	for pc, ds := range deps {
+		for _, d := range ds {
+			uses[d] = append(uses[d], pc)
+		}
+	}
 
 	// Order-dependent instructions (result-set plumbing, logging) form a
 	// chain so rsColumn calls append in plan order.
-	pending := make([]int, n)
+	pending := make([]atomic.Int32, n)
 	lastEffect := -1
 	for i, in := range plan.Instrs {
-		pending[i] = len(deps[i])
+		count := len(deps[i])
 		if isOrdered(in) {
 			if lastEffect >= 0 {
-				pending[i]++
+				count++
 				uses[lastEffect] = append(uses[lastEffect], i)
 			}
 			lastEffect = i
 		}
+		pending[i].Store(int32(count))
 	}
 
-	ready := make(chan int, n)
-	for i := range plan.Instrs {
-		if pending[i] == 0 {
-			ready <- i
-		}
+	workers := opt.Workers
+	if workers > n {
+		workers = n
 	}
-
+	queues := make([]*deque, workers)
+	for w := range queues {
+		queues[w] = &deque{}
+	}
+	// sem counts enqueued-but-unclaimed instructions. Every push into a
+	// deque is followed by exactly one token send; every claim consumes
+	// exactly one token first. The channel holds at most n tokens, so
+	// sends never block, and a worker that receives a token is
+	// guaranteed an instruction exists in some deque.
+	sem := make(chan struct{}, n)
 	var (
-		mu        sync.Mutex
+		completed atomic.Int64
+		mu        sync.Mutex // guards firstErr/finished at run end only
 		firstErr  error
-		completed int
 		finished  bool
 		wg        sync.WaitGroup
 		done      = make(chan struct{})
 	)
-	// finish records the run outcome exactly once; callers hold mu.
 	finish := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
 		if finished {
 			return
 		}
@@ -351,69 +418,86 @@ func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) er
 		firstErr = err
 		close(done)
 	}
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		finish(err)
+
+	// Seed the initial ready set round-robin so every worker starts with
+	// local work.
+	seeded := 0
+	for i := range plan.Instrs {
+		if pending[i].Load() == 0 {
+			queues[seeded%workers].push(i)
+			seeded++
+		}
 	}
-	complete := func(pc int, err error) {
-		if err != nil {
-			fail(err)
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		if finished {
-			return
-		}
-		completed++
-		for _, u := range uses[pc] {
-			pending[u]--
-			if pending[u] == 0 {
-				ready <- u
-			}
-		}
-		if completed == len(plan.Instrs) {
-			finish(nil)
-		}
+	for i := 0; i < seeded; i++ {
+		sem <- struct{}{}
 	}
 
-	for w := 0; w < opt.Workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			// stopped reports whether the run is canceled or finished
-			// (including failed), recording cancellation as the run
-			// error. Workers must not dispatch queued instructions past
-			// either point, and a select with several live cases picks
-			// randomly — so every path funnels through this check.
-			stopped := func() bool {
-				select {
-				case <-cctx.Done():
-					fail(fmt.Errorf("engine: canceled: %w", cctx.Err()))
-					return true
-				case <-done:
-					return true
-				default:
-					return false
+			own := queues[worker]
+			// claim takes one enqueued instruction after a token was
+			// received: own deque first, then steal sweeps. The counting
+			// invariant (tokens never exceed enqueued instructions)
+			// makes the outer loop terminate — an instruction exists
+			// somewhere, it can only be mid-flight between a peer's push
+			// and our sweep.
+			claim := func() (int, bool) {
+				for {
+					if pc, ok := own.pop(); ok {
+						return pc, true
+					}
+					for i := 1; i < workers; i++ {
+						if pc, ok := queues[(worker+i)%workers].steal(); ok {
+							return pc, true
+						}
+					}
+					select {
+					case <-done:
+						return 0, false
+					default:
+						runtime.Gosched()
+					}
 				}
 			}
 			for {
-				if stopped() {
+				select {
+				case <-done:
+					return
+				case <-cctx.Done():
+					finish(fmt.Errorf("engine: canceled: %w", cctx.Err()))
+					return
+				case <-sem:
+				}
+				pc, ok := claim()
+				if !ok {
 					return
 				}
+				// Re-check: the token may have won the race against
+				// cancellation or a peer's failure. Workers must not
+				// dispatch queued instructions past either point.
 				select {
-				case pc := <-ready:
-					// Re-check: ready may have won the race against
-					// cancellation or completion.
-					if stopped() {
-						return
-					}
-					err := e.exec(ctx, plan.Instrs[pc], worker, opt.Profiler)
-					complete(pc, err)
 				case <-cctx.Done():
-					// Handled by stopped() at the top of the loop.
+					finish(fmt.Errorf("engine: canceled: %w", cctx.Err()))
+					return
 				case <-done:
+					return
+				default:
+				}
+				if err := e.exec(ctx, plan.Instrs[pc], worker, opt.Profiler); err != nil {
+					finish(err)
+					return
+				}
+				for _, u := range uses[pc] {
+					if pending[u].Add(-1) == 0 {
+						own.push(u)
+						sem <- struct{}{}
+					}
+				}
+				if completed.Add(1) == int64(n) {
+					finish(nil)
+					return
 				}
 			}
 		}(w)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -581,5 +582,106 @@ func TestConcurrentRunsShareEngineAndPlan(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestWorkStealingSpreadsFanOut forces the fan-out case the per-worker
+// deques must handle: one producer unblocks many consumers at once, all
+// of which land on the finisher's own deque — the other workers only
+// get work by stealing it.
+func TestWorkStealingSpreadsFanOut(t *testing.T) {
+	sink := &profiler.SliceSink{}
+	prof := profiler.New(sink)
+	eng := New(testCat)
+	eng.Register("test", "seed", func(ctx *Context, in *mal.Instr) error {
+		ctx.setVal(in, 0, mal.Int64(1))
+		return nil
+	})
+	eng.Register("test", "work", func(ctx *Context, in *mal.Instr) error {
+		time.Sleep(2 * time.Millisecond)
+		ctx.setVal(in, 0, mal.Int64(1))
+		return nil
+	})
+	p := mal.NewPlan("")
+	seed := p.Emit1("test", "seed", mal.TInt)
+	for i := 0; i < 16; i++ {
+		p.Emit1("test", "work", mal.TInt, mal.VarArg(seed))
+	}
+	if _, err := eng.Run(p, Options{Workers: 4, Profiler: prof}); err != nil {
+		t.Fatal(err)
+	}
+	threads := map[int]bool{}
+	for _, e := range sink.Events() {
+		threads[e.Thread] = true
+	}
+	if len(threads) < 2 {
+		t.Errorf("fan-out executed on %d threads, want >= 2 (stealing failed)", len(threads))
+	}
+}
+
+// TestDataflowCancelMidRun cancels while instructions are executing:
+// the scheduler must stop dispatching, return the cancellation error,
+// and leave no goroutine behind.
+func TestDataflowCancelMidRun(t *testing.T) {
+	eng := New(testCat)
+	started := make(chan struct{}, 64)
+	eng.Register("test", "slow", func(ctx *Context, in *mal.Instr) error {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		time.Sleep(time.Millisecond)
+		ctx.setVal(in, 0, mal.Int64(1))
+		return nil
+	})
+	p := mal.NewPlan("")
+	prev := p.Emit1("test", "slow", mal.TInt)
+	for i := 0; i < 63; i++ {
+		prev = p.Emit1("test", "slow", mal.TInt, mal.VarArg(prev))
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := eng.RunContext(cctx, p, Options{Workers: 4})
+		errc <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled dataflow run did not return")
+	}
+}
+
+// TestDataflowWideMitosisPlan runs a genuinely wide partitioned
+// aggregate plan through the scheduler at several worker counts and
+// checks the results agree with sequential execution.
+func TestDataflowWideMitosisPlan(t *testing.T) {
+	q := "select l_returnflag, sum(l_quantity) as s, count(*) as n from lineitem where l_quantity > 10 group by l_returnflag order by l_returnflag"
+	plan := compileQ(t, q, 16)
+	eng := New(testCat)
+	seq, err := eng.Run(plan, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 32} {
+		par, err := eng.Run(plan, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Rows() != seq.Rows() {
+			t.Fatalf("workers=%d: rows %d != %d", workers, par.Rows(), seq.Rows())
+		}
+		for c := range seq.Cols {
+			for i := 0; i < seq.Rows(); i++ {
+				if !sameCell(seq.Cols[c], par.Cols[c], i) {
+					t.Fatalf("workers=%d: col %d row %d differs", workers, c, i)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/optimizer"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+)
+
+// edgeCat is a catalog with deliberately awkward tables: tiny (fewer
+// rows than any realistic partition count) and empty.
+var edgeCat = func() *storage.Catalog {
+	cat := storage.NewCatalog()
+	cat.Define("sys", "tiny",
+		[]storage.Column{{Name: "k", Kind: storage.Int}, {Name: "v", Kind: storage.Flt}, {Name: "tag", Kind: storage.Str}},
+		map[string]*storage.BAT{
+			"k":   storage.FromInts(storage.Int, []int64{1, 2, 1, 3, 2}),
+			"v":   storage.FromFloats([]float64{1.5, 2.5, 3.5, 4.5, 5.5}),
+			"tag": storage.FromStrings([]string{"a", "b", "a", "c", "b"}),
+		})
+	cat.Define("sys", "nothing",
+		[]storage.Column{{Name: "k", Kind: storage.Int}, {Name: "v", Kind: storage.Flt}},
+		map[string]*storage.BAT{
+			"k": storage.FromInts(storage.Int, nil),
+			"v": storage.FromFloats(nil),
+		})
+	return cat
+}()
+
+// runEdge compiles q against edgeCat at the given partition count
+// (optimized, as every real path runs) and executes it.
+func runEdge(t *testing.T, q string, partitions, workers int) *Result {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	tree, err := algebra.Bind(stmt, edgeCat)
+	if err != nil {
+		t.Fatalf("Bind(%q): %v", q, err)
+	}
+	plan, err := compiler.Compile(tree, q, compiler.Options{Partitions: partitions})
+	if err != nil {
+		t.Fatalf("Compile(%q, parts=%d): %v", q, partitions, err)
+	}
+	plan, _, err = optimizer.Default().Run(plan)
+	if err != nil {
+		t.Fatalf("Optimize(%q): %v", q, err)
+	}
+	res, err := New(edgeCat).Run(plan, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("Run(%q, parts=%d, workers=%d): %v", q, partitions, workers, err)
+	}
+	if res == nil {
+		t.Fatalf("Run(%q): nil result", q)
+	}
+	return res
+}
+
+// edgeQueries covers every extended mitosis shape: bare scans,
+// filters, projected expressions, global aggregates (guarded min/max
+// included), group-bys with multiple keys, count forms, and distinct.
+var edgeQueries = []string{
+	"select k, v from tiny",
+	"select v from tiny where k >= 2",
+	"select v * 2 + 1 from tiny where k <> 3",
+	"select count(*), sum(v), min(v), max(v) from tiny",
+	"select min(v), max(v) from tiny where k = 3", // one surviving row, most slices empty
+	"select min(v) from tiny where k > 99",        // nothing survives anywhere
+	"select tag, sum(v) as s, count(*) as n, min(v) as mn, max(v) as mx from tiny group by tag",
+	"select k, tag, count(v) as n from tiny group by k, tag",
+	"select tag, avg(v) as a from tiny group by tag", // avg: packed fallback under partitioning
+	"select distinct tag from tiny",
+	"select distinct k, tag from tiny",
+	"select k, v from nothing",
+	"select count(*), sum(v), min(v), max(v) from nothing",
+	"select k, sum(v) as s from nothing group by k",
+	"select distinct k from nothing",
+}
+
+// assertSameResult compares cell for cell. Float cells compare under a
+// tight relative tolerance: merged float sums re-associate the
+// additions (partial sums per slice, then a combining sum — exactly
+// what MonetDB's mitosis does), so the last bits may differ from the
+// strict left-to-right sequential sum. Counts, min/max, strings and
+// integers must match exactly.
+func assertSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Rows() != want.Rows() {
+		t.Fatalf("%s: rows %d != %d", label, got.Rows(), want.Rows())
+	}
+	if len(got.Cols) != len(want.Cols) {
+		t.Fatalf("%s: cols %d != %d", label, len(got.Cols), len(want.Cols))
+	}
+	for c := range want.Cols {
+		for i := 0; i < want.Rows(); i++ {
+			if want.Cols[c].Kind() == storage.Flt {
+				a, b := want.Cols[c].FltAt(i), got.Cols[c].FltAt(i)
+				d, scale := a-b, a
+				if d < 0 {
+					d = -d
+				}
+				if scale < 0 {
+					scale = -scale
+				}
+				if scale < 1 {
+					scale = 1
+				}
+				if d > 1e-9*scale {
+					t.Fatalf("%s: col %d row %d differs: %g vs %g", label, c, i, a, b)
+				}
+				continue
+			}
+			if !sameCell(want.Cols[c], got.Cols[c], i) {
+				t.Fatalf("%s: col %d row %d differs", label, c, i)
+			}
+		}
+	}
+}
+
+// TestMitosisMorePartitionsThanRows partitions 5-row and 0-row tables
+// into far more slices than rows — most slices are empty — and checks
+// every shape agrees with the sequential plan, exactly.
+func TestMitosisMorePartitionsThanRows(t *testing.T) {
+	for _, q := range edgeQueries {
+		base := runEdge(t, q, 1, 1)
+		for _, parts := range []int{2, 5, 7, 16, 64} {
+			got := runEdge(t, q, parts, 1)
+			assertSameResult(t, fmt.Sprintf("%q parts=%d", q, parts), base, got)
+		}
+	}
+}
+
+// TestMitosisParallelEqualitySweep runs the extended mitosis shapes
+// across worker counts: sequential and dataflow execution of the same
+// partitioned plan must agree cell for cell. Run under -race (the
+// Makefile race target does) this doubles as the scheduler's
+// correctness sweep over aggregate plans.
+func TestMitosisParallelEqualitySweep(t *testing.T) {
+	for _, q := range edgeQueries {
+		base := runEdge(t, q, 1, 1)
+		for _, parts := range []int{4, 16} {
+			for _, workers := range []int{1, 4, 8} {
+				got := runEdge(t, q, parts, workers)
+				assertSameResult(t, fmt.Sprintf("%q parts=%d workers=%d", q, parts, workers), base, got)
+			}
+		}
+	}
+}
+
+// TestMitosisTPCHShapesAcrossWorkers sweeps realistic aggregate
+// pipelines over the TPC-H test catalog at Workers 1/4/8.
+func TestMitosisTPCHShapesAcrossWorkers(t *testing.T) {
+	queries := []string{
+		"select sum(l_extendedprice) as revenue, count(*) as matched from lineitem where l_shipdate between date '1994-01-01' and date '1994-12-31' and l_discount between 0.05 and 0.07 and l_quantity < 24",
+		"select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, count(*) as n from lineitem where l_shipdate <= date '1998-09-02' group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus",
+		"select l_returnflag, min(l_quantity) as mn, max(l_quantity) as mx from lineitem group by l_returnflag order by l_returnflag",
+		"select distinct l_shipmode from lineitem order by l_shipmode",
+	}
+	for _, q := range queries {
+		base := runQ(t, q, Options{Workers: 1}, 1)
+		for _, parts := range []int{4, 8} {
+			for _, workers := range []int{1, 4, 8} {
+				got := runQ(t, q, Options{Workers: workers}, parts)
+				assertSameResult(t, fmt.Sprintf("%q parts=%d workers=%d", q, parts, workers), base, got)
+			}
+		}
+	}
+}
+
+// TestMitosisExactShapesByteIdentical: aggregates that do not
+// re-associate float additions — counts, min/max, integral sums, group
+// keys, distinct — must be bit-for-bit identical to sequential
+// execution at every partition/worker combination.
+func TestMitosisExactShapesByteIdentical(t *testing.T) {
+	queries := []string{
+		"select l_returnflag, count(*) as n, min(l_quantity) as mn, max(l_quantity) as mx from lineitem group by l_returnflag order by l_returnflag",
+		"select sum(l_partkey) as s, count(*) as n from lineitem where l_quantity > 25",
+		"select min(l_shipdate) as first, max(l_shipdate) as last from lineitem",
+		"select distinct l_returnflag, l_linestatus from lineitem",
+	}
+	for _, q := range queries {
+		base := runQ(t, q, Options{Workers: 1}, 1)
+		for _, parts := range []int{4, 16} {
+			for _, workers := range []int{1, 4, 8} {
+				got := runQ(t, q, Options{Workers: workers}, parts)
+				label := fmt.Sprintf("%q parts=%d workers=%d", q, parts, workers)
+				if got.Rows() != base.Rows() || len(got.Cols) != len(base.Cols) {
+					t.Fatalf("%s: shape differs", label)
+				}
+				for c := range base.Cols {
+					for i := 0; i < base.Rows(); i++ {
+						if !sameCell(base.Cols[c], got.Cols[c], i) {
+							t.Fatalf("%s: col %d row %d not byte-identical", label, c, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -34,10 +34,12 @@ type Pipeline struct {
 	Passes []Pass
 }
 
-// Default returns the standard pipeline: CSE then dead-code elimination
-// (CSE creates dead duplicates that DCE sweeps).
+// Default returns the standard pipeline: CSE, then mergetable folding
+// (degenerate mitosis fragments the partitioned lowering leaves
+// behind), then dead-code elimination (the first two passes create dead
+// duplicates that DCE sweeps).
 func Default() Pipeline {
-	return Pipeline{Passes: []Pass{CSE{}, DeadCode{}}}
+	return Pipeline{Passes: []Pass{CSE{}, MatFold{}, DeadCode{}}}
 }
 
 // Spec names the pipeline canonically, e.g. "cse,deadcode" — the
@@ -190,6 +192,112 @@ func (CSE) Run(p *mal.Plan) (int, error) {
 		seen[key] = in
 	}
 	return rewrites, nil
+}
+
+// MatFold removes degenerate mitosis fragments: a mat.pack of a single
+// piece is the piece, mat.slice(v, 0, 1) is v, and a mat.pack that
+// reassembles every slice of one source in order is the source itself
+// (the compiler's partitioned lowering emits that shape for scans no
+// operator ever consumed partition-wise). Uses are rewritten to the
+// surviving variable; the dead slice/pack instructions are left for
+// DeadCode.
+type MatFold struct{}
+
+// Name implements Pass.
+func (MatFold) Name() string { return "matfold" }
+
+// constInt extracts an integer constant argument, reporting whether arg
+// i exists and is one.
+func constInt(in *mal.Instr, i int) (int64, bool) {
+	if i >= len(in.Args) || !in.Args[i].IsConst() {
+		return 0, false
+	}
+	c := in.Args[i].Const
+	if c.Type != mal.TInt && c.Type != mal.TOID {
+		return 0, false
+	}
+	return c.Int, true
+}
+
+// Run implements Pass.
+func (MatFold) Run(p *mal.Plan) (int, error) {
+	folded := 0
+	replacement := map[int]int{}
+	resolve := func(v int) int {
+		for {
+			r, ok := replacement[v]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+	// def maps a variable to its defining instruction, built as we walk
+	// (single assignment: definitions precede uses).
+	def := map[int]*mal.Instr{}
+	for _, in := range p.Instrs {
+		for ai, a := range in.Args {
+			if !a.IsConst() {
+				if r := resolve(a.Var); r != a.Var {
+					in.Args[ai] = mal.VarArg(r)
+				}
+			}
+		}
+		switch in.Name() {
+		case "mat.slice":
+			// slice(v, 0, 1) is the whole column.
+			if pArg, ok := constInt(in, 1); ok && pArg == 0 {
+				if kArg, ok := constInt(in, 2); ok && kArg == 1 && len(in.Rets) == 1 && !in.Args[0].IsConst() {
+					replacement[in.Rets[0]] = in.Args[0].Var
+					folded++
+				}
+			}
+		case "mat.pack":
+			if len(in.Rets) != 1 {
+				break
+			}
+			if len(in.Args) == 1 && !in.Args[0].IsConst() {
+				// pack of one piece is the piece.
+				replacement[in.Rets[0]] = in.Args[0].Var
+				folded++
+				break
+			}
+			// pack(slice(v,0,k), ..., slice(v,k-1,k)) is v.
+			src := -1
+			ok := true
+			for i, a := range in.Args {
+				if a.IsConst() {
+					ok = false
+					break
+				}
+				d := def[a.Var]
+				if d == nil || d.Name() != "mat.slice" || d.Args[0].IsConst() {
+					ok = false
+					break
+				}
+				pArg, pOK := constInt(d, 1)
+				kArg, kOK := constInt(d, 2)
+				if !pOK || !kOK || pArg != int64(i) || kArg != int64(len(in.Args)) {
+					ok = false
+					break
+				}
+				if src == -1 {
+					src = d.Args[0].Var
+				} else if d.Args[0].Var != src {
+					ok = false
+					break
+				}
+			}
+			if ok && src >= 0 {
+				replacement[in.Rets[0]] = src
+				folded++
+			}
+		}
+		for _, r := range in.Rets {
+			def[r] = in
+		}
+	}
+	return folded, nil
 }
 
 // String renders the stats as a one-line summary.

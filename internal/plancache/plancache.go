@@ -31,9 +31,14 @@ type Key struct {
 	// SQL is the statement text, byte for byte (no normalization —
 	// differing whitespace compiles twice, which is cheap and safe).
 	SQL string
-	// Partitions is the mitosis partition count compiled into the plan.
+	// Partitions is the requested mitosis partition count — normalized
+	// by the caller (out-of-range values clamp to 1 before key
+	// construction, so partitions=0 can never alias the partitions=1
+	// plan under a second key), with the adaptive sentinel
+	// (stethoscope.Auto) as its own key value: the resolved fan-out of
+	// an auto compilation lives in Entry.Partitions.
 	Partitions int
-	// Passes names the optimizer pipeline, e.g. "cse,deadcode".
+	// Passes names the optimizer pipeline, e.g. "cse,matfold,deadcode".
 	Passes string
 }
 
@@ -43,6 +48,15 @@ type Key struct {
 type Entry struct {
 	Plan *mal.Plan
 	Opt  optimizer.Stats
+	// Partitions is the mitosis fan-out actually compiled into the
+	// plan. It equals Key.Partitions except for auto compilations,
+	// where the key carries the sentinel and this carries the
+	// resolution.
+	Partitions int
+	// TuneReason records why an auto compilation chose its fan-out
+	// (empty for explicit partition counts). Memoized here so cache
+	// hits still report the reason in Result.Stats and the history.
+	TuneReason string
 	// Aux memoizes derived per-plan artifacts (e.g. the dot export the
 	// history store records per run). It lives and dies with the cache
 	// entry, so memoized artifacts never outlive their plan. Fill it

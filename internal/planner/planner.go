@@ -1,0 +1,113 @@
+// Package planner owns the serving layer's shared statement-compilation
+// flow: plan-cache lookup, parse, bind, adaptive partition resolution,
+// MAL lowering, optimizer pipeline, and cache insertion. The facade
+// (DB.Exec/Explain) and every server session compile through one
+// Planner-shaped flow, so the cache-key discipline (normalized
+// partition counts, the Auto sentinel as its own key) and the
+// memoization of auto resolutions (Entry.Partitions/TuneReason) cannot
+// drift between entry points.
+package planner
+
+import (
+	"fmt"
+
+	"stethoscope/internal/adaptive"
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/optimizer"
+	"stethoscope/internal/plancache"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+)
+
+// Planner binds the shared compilation inputs: the catalog to resolve
+// tables (and auto fan-outs) against, the shared plan cache (nil
+// disables caching), and the optimizer pipeline with its cache-key
+// spec.
+type Planner struct {
+	Cat      *storage.Catalog
+	Cache    *plancache.Cache
+	Pipeline optimizer.Pipeline
+	PassSpec string
+}
+
+// Compiled is one compilation outcome: the optimized plan plus what it
+// was compiled with and why.
+type Compiled struct {
+	Plan *mal.Plan
+	Opt  optimizer.Stats
+	Aux  *plancache.Aux // nil when caching is disabled
+	// Partitions is the mitosis fan-out compiled into the plan; it
+	// differs from the request only under Auto, where TuneReason then
+	// records the selection inputs and outcome.
+	Partitions int
+	TuneReason string
+	Cached     bool
+}
+
+// ResolveExec applies a session's worker setting to this compilation:
+// Auto resolves against the compiled partition fan-out, explicit counts
+// pass through. It returns the concrete worker count, whether any
+// setting was adaptively chosen, and the combined tuning note — the one
+// resolution both Result.Stats and the history RunMeta record, shared
+// by the facade Exec path and the server QUERY path so the two can
+// never diverge.
+func (c Compiled) ResolveExec(requestedWorkers int) (workers int, autoTuned bool, reason string) {
+	workers, wreason := adaptive.ResolveWorkers(requestedWorkers, c.Partitions)
+	autoTuned = c.TuneReason != "" || requestedWorkers == adaptive.Auto
+	return workers, autoTuned, adaptive.JoinReasons(c.TuneReason, wreason)
+}
+
+// ResolvePartitions turns an Auto partition request into a concrete
+// fan-out for the bound tree (from the largest scanned table's row
+// count and the core budget); explicit counts pass through with an
+// empty reason.
+func ResolvePartitions(cat *storage.Catalog, requested int, tree algebra.Node) (int, string) {
+	if requested != adaptive.Auto {
+		return requested, ""
+	}
+	return adaptive.Partitions(algebra.MaxScanRows(tree, cat), adaptive.Procs())
+}
+
+// Compile lowers SQL to an optimized MAL plan, consulting the cache
+// first. partitions must be normalized by the caller (adaptive.
+// Normalize / adaptive.Clamp); the Auto sentinel keys the cache
+// directly and is resolved here — after bind — with the resolution
+// memoized in the entry. Cached plans are shared between concurrent
+// executions and must be treated as immutable; Aux memoizes derived
+// artifacts (the dot export the history store records) across every
+// session sharing the entry.
+func (p *Planner) Compile(query string, partitions int) (Compiled, error) {
+	key := plancache.Key{SQL: query, Partitions: partitions, Passes: p.PassSpec}
+	if p.Cache != nil {
+		if e, ok := p.Cache.Get(key); ok {
+			return Compiled{Plan: e.Plan, Opt: e.Opt, Aux: e.Aux,
+				Partitions: e.Partitions, TuneReason: e.TuneReason, Cached: true}, nil
+		}
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return Compiled{}, fmt.Errorf("parse: %w", err)
+	}
+	tree, err := algebra.Bind(stmt, p.Cat)
+	if err != nil {
+		return Compiled{}, fmt.Errorf("bind: %w", err)
+	}
+	resolved, reason := ResolvePartitions(p.Cat, partitions, tree)
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: resolved})
+	if err != nil {
+		return Compiled{}, fmt.Errorf("compile: %w", err)
+	}
+	plan, stats, err := p.Pipeline.Run(plan)
+	if err != nil {
+		return Compiled{}, fmt.Errorf("optimize: %w", err)
+	}
+	c := Compiled{Plan: plan, Opt: stats, Partitions: resolved, TuneReason: reason}
+	if p.Cache != nil {
+		c.Aux = &plancache.Aux{}
+		p.Cache.Put(key, plancache.Entry{Plan: plan, Opt: stats, Aux: c.Aux,
+			Partitions: resolved, TuneReason: reason})
+	}
+	return c, nil
+}

@@ -279,19 +279,30 @@ type BatchSink interface {
 // cutting the per-event allocation and syscall cost of the trace path.
 // A batch is delivered when it reaches the configured size, when Flush
 // is called (the server flushes at query end), and — when the batcher
-// was built with a flush interval — by a timer armed lazily whenever an
-// event lands in an empty buffer, so a stalled query still streams
+// was built with a flush interval — by a deadline armed lazily whenever
+// an event lands in an empty buffer, so a stalled query still streams
 // while an idle batcher costs nothing. It is safe for concurrent use by
 // the dataflow workers; event order is preserved.
+//
+// The lazy flush is deadline-checked, not timer-driven: the background
+// flusher only delivers after verifying under the lock that the armed
+// deadline has actually passed. The earlier implementation reset one
+// shared time.Timer from Emit, and a timer firing concurrently with
+// that Reset left a stale tick in the channel — the flusher then
+// delivered a freshly-started batch long before its interval elapsed
+// (spurious early flush). Events were never dropped or duplicated
+// (delivery always drained the real buffer under the lock), but the
+// batching guarantee silently degraded to per-event sends under load.
 type Batcher struct {
 	sink       BatchSink
 	size       int
 	flushEvery time.Duration
 
-	mu    sync.Mutex
-	buf   []Event
-	timer *time.Timer // nil when no flush interval was configured
+	mu       sync.Mutex
+	buf      []Event
+	deadline time.Time // zero when the buffer is empty or no interval is set
 
+	kick      chan struct{} // wakes the flusher when a deadline is armed
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -302,7 +313,7 @@ type Batcher struct {
 const DefaultBatchSize = 64
 
 // NewBatcher wraps sink. batchSize <= 0 selects DefaultBatchSize.
-// flushEvery > 0 enables the lazy flush timer; 0 means batches are
+// flushEvery > 0 enables the lazy flush deadline; 0 means batches are
 // delivered only on size and explicit Flush/Close.
 func NewBatcher(sink BatchSink, batchSize int, flushEvery time.Duration) *Batcher {
 	if batchSize <= 0 {
@@ -313,37 +324,74 @@ func NewBatcher(sink BatchSink, batchSize int, flushEvery time.Duration) *Batche
 		size:       batchSize,
 		flushEvery: flushEvery,
 		buf:        make([]Event, 0, batchSize),
+		kick:       make(chan struct{}, 1),
 		done:       make(chan struct{}),
 	}
 	if flushEvery > 0 {
-		b.timer = time.NewTimer(flushEvery)
-		if !b.timer.Stop() {
-			<-b.timer.C
-		}
 		b.wg.Add(1)
-		go func() {
-			defer b.wg.Done()
-			for {
-				select {
-				case <-b.timer.C:
-					// A spurious early flush (timer raced a Reset) only
-					// delivers a non-empty buffer, so it is harmless.
-					b.Flush()
-				case <-b.done:
-					return
-				}
-			}
-		}()
+		go b.flusher()
 	}
 	return b
+}
+
+// flusher delivers batches whose deadline has passed. It sleeps until
+// the armed deadline (re-reading it each round: a size- or
+// Flush-triggered delivery clears it, a later Emit re-arms it) and
+// flushes only when the deadline it observed under the lock has truly
+// expired — there is no timer channel to go stale.
+func (b *Batcher) flusher() {
+	defer b.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		b.mu.Lock()
+		deadline := b.deadline
+		b.mu.Unlock()
+		if deadline.IsZero() {
+			select {
+			case <-b.kick:
+				continue
+			case <-b.done:
+				return
+			}
+		}
+		if wait := time.Until(deadline); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-b.kick:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-b.done:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				return
+			}
+			continue
+		}
+		b.mu.Lock()
+		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+			b.deliverLocked()
+		}
+		b.mu.Unlock()
+	}
 }
 
 // Emit implements Sink.
 func (b *Batcher) Emit(e Event) {
 	b.mu.Lock()
-	if len(b.buf) == 0 && b.timer != nil {
+	if len(b.buf) == 0 && b.flushEvery > 0 {
 		// First event into an empty buffer arms the flush deadline.
-		b.timer.Reset(b.flushEvery)
+		b.deadline = time.Now().Add(b.flushEvery)
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
 	}
 	b.buf = append(b.buf, e)
 	if len(b.buf) >= b.size {
@@ -352,10 +400,11 @@ func (b *Batcher) Emit(e Event) {
 	b.mu.Unlock()
 }
 
-// deliverLocked hands the pending batch to the sink and resets the
-// buffer for reuse. Delivery happens under the batcher lock so batches
-// arrive at the sink in event order.
+// deliverLocked hands the pending batch to the sink, resets the buffer
+// for reuse, and disarms the flush deadline. Delivery happens under the
+// batcher lock so batches arrive at the sink in event order.
 func (b *Batcher) deliverLocked() {
+	b.deadline = time.Time{}
 	if len(b.buf) == 0 {
 		return
 	}

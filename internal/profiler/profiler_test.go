@@ -393,3 +393,85 @@ func TestWriterSinkEmitBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestBatcherTimerRaceLossless is the regression test for the lazy
+// flush deadline: a single emitter races the interval flusher and a
+// hostile concurrent Flush caller at an interval short enough that the
+// deadline re-arms thousands of times. No event may be dropped or
+// duplicated, and order must be preserved — under -race this also
+// proves the Emit/Flush/Close paths share no unsynchronized state.
+func TestBatcherTimerRaceLossless(t *testing.T) {
+	const total = 5000
+	sink := &recordingBatchSink{}
+	b := NewBatcher(sink, 8, 50*time.Microsecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // hostile flusher
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Flush()
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		b.Emit(Event{Seq: int64(i)})
+		if i%97 == 0 {
+			time.Sleep(60 * time.Microsecond) // let the deadline expire mid-stream
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := sink.snapshot()
+	if len(evs) != total {
+		t.Fatalf("delivered %d events, want %d (dropped or duplicated)", len(evs), total)
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d: order broken or event duplicated", i, e.Seq)
+		}
+	}
+}
+
+// TestBatcherNoSpuriousEarlyFlush pins the fixed behavior itself: after
+// a deadline-triggered delivery, a fresh event must not be flushed
+// before its own interval elapses (the old timer Reset race delivered
+// it immediately via the stale tick). An early delivery only fails the
+// test when the clock confirms the interval had not elapsed, so a
+// descheduled goroutine on a loaded machine cannot turn a legitimate
+// deadline flush into a false alarm.
+func TestBatcherNoSpuriousEarlyFlush(t *testing.T) {
+	const interval = 250 * time.Millisecond
+	sink := &recordingBatchSink{}
+	b := NewBatcher(sink, 1<<20, interval)
+	defer b.Close()
+	// First event: wait out its deadline flush — the exact state the
+	// old implementation left a stale timer tick behind in.
+	b.Emit(Event{Seq: 0})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if evs, _ := sink.snapshot(); len(evs) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deadline flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Second event immediately after: it must still be pending while
+	// its own interval has provably not elapsed.
+	emitted := time.Now()
+	b.Emit(Event{Seq: 1})
+	time.Sleep(10 * time.Millisecond)
+	evs, _ := sink.snapshot()
+	if elapsed := time.Since(emitted); len(evs) != 1 && elapsed < interval {
+		t.Fatalf("event flushed after %v, %v before its deadline (spurious flush)", elapsed, interval-elapsed)
+	}
+}

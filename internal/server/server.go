@@ -17,13 +17,13 @@ import (
 	"sync"
 	"time"
 
+	"stethoscope/internal/adaptive"
 	"stethoscope/internal/algebra"
-	"stethoscope/internal/compiler"
 	"stethoscope/internal/engine"
-	"stethoscope/internal/mal"
 	"stethoscope/internal/netproto"
 	"stethoscope/internal/optimizer"
 	"stethoscope/internal/plancache"
+	"stethoscope/internal/planner"
 	"stethoscope/internal/profiler"
 	"stethoscope/internal/sql"
 	"stethoscope/internal/storage"
@@ -45,6 +45,7 @@ type Server struct {
 	cache    *plancache.Cache
 	pipeline optimizer.Pipeline
 	passSpec string
+	planner  planner.Planner
 	history  *tracestore.Store
 	onQuery  func(events int)
 
@@ -125,6 +126,7 @@ func NewWithConfig(ctx context.Context, name string, cat *storage.Catalog, cfg C
 	}
 	s.history = cfg.History
 	s.onQuery = cfg.OnQuery
+	s.planner = planner.Planner{Cat: s.eng.Catalog(), Cache: s.cache, Pipeline: s.pipeline, PassSpec: s.passSpec}
 	return s
 }
 
@@ -204,7 +206,10 @@ func (s *Server) Close() error {
 // profiler stream are isolated per client; the engine, the plan cache,
 // and the history store are shared with every other session. The
 // profiler itself is built per QUERY (engine runs reset profiler state,
-// so a profiler must not span concurrent runs).
+// so a profiler must not span concurrent runs). Sessions default to
+// adaptive parallel execution (partitions and workers auto): fan-out is
+// sized per query from the scanned tables and the core count; SET
+// pins either setting explicitly.
 type session struct {
 	srv        *Server
 	partitions int
@@ -249,7 +254,7 @@ func (s *Server) handle(conn net.Conn) {
 		case <-stop:
 		}
 	}()
-	sess := &session{srv: s, partitions: 1, workers: 1}
+	sess := &session{srv: s, partitions: adaptive.Auto, workers: adaptive.Auto}
 	defer func() { sess.closeStream() }()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -313,13 +318,22 @@ func (sess *session) dispatch(w *bufio.Writer, line string) {
 func (sess *session) cmdSet(w *bufio.Writer, rest string) {
 	fields := strings.Fields(rest)
 	if len(fields) != 2 {
-		fmt.Fprintln(w, "err usage: SET <partitions|workers> <n>")
+		fmt.Fprintln(w, "err usage: SET <partitions|workers> <n|auto>")
 		return
 	}
-	n, err := strconv.Atoi(fields[1])
-	if err != nil || n < 1 {
-		fmt.Fprintf(w, "err bad value %q\n", fields[1])
-		return
+	// "auto" is the only spelling of adaptive sizing on the wire;
+	// numeric values — including -1, which the Go API reserves as the
+	// Auto sentinel — clamp through the shared rule (below 1 becomes
+	// 1), so a session can never compile under an out-of-range setting
+	// nor switch modes by accident.
+	n := adaptive.Auto
+	if !strings.EqualFold(fields[1], "auto") {
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Fprintf(w, "err bad value %q\n", fields[1])
+			return
+		}
+		n = adaptive.Clamp(v)
 	}
 	switch strings.ToLower(fields[0]) {
 	case "partitions":
@@ -401,40 +415,14 @@ func (sess *session) cmdFilter(w *bufio.Writer, rest string) {
 }
 
 // compile turns SQL into an optimized MAL plan under the session's
-// settings, consulting the server's shared plan cache first. Cached
-// plans are shared read-only between sessions executing concurrently;
-// the returned aux (nil when caching is disabled) memoizes the plan's
-// dot export across those sessions.
-func (sess *session) compile(query string) (*mal.Plan, *plancache.Aux, error) {
-	srv := sess.srv
-	key := plancache.Key{SQL: query, Partitions: sess.partitions, Passes: srv.passSpec}
-	if srv.cache != nil {
-		if e, ok := srv.cache.Get(key); ok {
-			return e.Plan, e.Aux, nil
-		}
-	}
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, nil, err
-	}
-	tree, err := algebra.Bind(stmt, srv.eng.Catalog())
-	if err != nil {
-		return nil, nil, err
-	}
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: sess.partitions})
-	if err != nil {
-		return nil, nil, err
-	}
-	opt, stats, err := srv.pipeline.Run(plan)
-	if err != nil {
-		return nil, nil, err
-	}
-	var aux *plancache.Aux
-	if srv.cache != nil {
-		aux = &plancache.Aux{}
-		srv.cache.Put(key, plancache.Entry{Plan: opt, Opt: stats, Aux: aux})
-	}
-	return opt, aux, nil
+// settings through the shared planner flow (internal/planner — the
+// same flow the facade's Exec/Explain compile through, so facade
+// callers and TCP sessions share auto-compiled plans and their
+// memoized resolutions). The session's partition setting is
+// pre-normalized by cmdSet; cached plans are shared read-only between
+// sessions executing concurrently.
+func (sess *session) compile(query string) (planner.Compiled, error) {
+	return sess.srv.planner.Compile(query, sess.partitions)
 }
 
 // cmdAlgebra prints the bound relational-algebra tree, the stage between
@@ -456,24 +444,24 @@ func (sess *session) cmdAlgebra(w *bufio.Writer, query string) {
 }
 
 func (sess *session) cmdExplain(w *bufio.Writer, query string) {
-	plan, _, err := sess.compile(query)
+	c, err := sess.compile(query)
 	if err != nil {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
 	}
 	fmt.Fprintln(w, "ok")
-	fmt.Fprint(w, plan.String())
+	fmt.Fprint(w, c.Plan.String())
 	fmt.Fprintln(w, ".")
 }
 
 func (sess *session) cmdDot(w *bufio.Writer, query string) {
-	plan, aux, err := sess.compile(query)
+	c, err := sess.compile(query)
 	if err != nil {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
 	}
 	fmt.Fprintln(w, "ok")
-	fmt.Fprint(w, plancache.DotText(plan, aux))
+	fmt.Fprint(w, plancache.DotText(c.Plan, c.Aux))
 	fmt.Fprintln(w, ".")
 }
 
@@ -488,14 +476,16 @@ func (c *countingSink) Emit(profiler.Event) { c.n++ }
 
 func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 	srv := sess.srv
-	plan, aux, err := sess.compile(query)
+	c, err := sess.compile(query)
 	if err != nil {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
 	}
+	plan := c.Plan
+	workers, autoTuned, tuneReason := c.ResolveExec(sess.workers)
 	var dotText string
 	if sess.streamer != nil || srv.history != nil {
-		dotText = plancache.DotText(plan, aux)
+		dotText = plancache.DotText(plan, c.Aux)
 	}
 	// The server generates the dot file and sends it over the UDP stream
 	// before query execution begins (§4.2).
@@ -519,9 +509,11 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 		rec, err = srv.history.Begin(tracestore.RunMeta{
 			SQL:          query,
 			Dot:          dotText,
-			Partitions:   sess.partitions,
-			Workers:      sess.workers,
+			Partitions:   c.Partitions,
+			Workers:      workers,
 			Instructions: len(plan.Instrs),
+			AutoTuned:    autoTuned,
+			TuneReason:   tuneReason,
 		})
 		if err != nil {
 			fmt.Fprintf(w, "err history: %v\n", err)
@@ -541,7 +533,7 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 	}
 	start := time.Now()
 	res, err := srv.eng.RunContext(srv.ctx, plan, engine.Options{
-		Workers:  sess.workers,
+		Workers:  workers,
 		Profiler: prof,
 	})
 	elapsed := time.Since(start)
@@ -581,13 +573,14 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 	fmt.Fprintln(w, ".")
 }
 
-// runLine renders one run as a k=v protocol line. The two quoted,
-// space-containing fields (sql, err) come last, so everything before
-// sql= splits cleanly on spaces.
+// runLine renders one run as a k=v protocol line. The quoted,
+// space-containing fields (sql, err, tune) come last, so everything
+// before sql= splits cleanly on spaces.
 func runLine(r tracestore.RunInfo) string {
-	return fmt.Sprintf("id=%d start=%s elapsed_us=%d events=%d rows=%d partitions=%d workers=%d complete=%t cache_hit=%t sql=%s err=%s",
+	return fmt.Sprintf("id=%d start=%s elapsed_us=%d events=%d rows=%d partitions=%d workers=%d auto=%t complete=%t cache_hit=%t sql=%s err=%s tune=%s",
 		r.ID, r.Start.UTC().Format(time.RFC3339Nano), r.ElapsedUs, r.Events, r.Rows,
-		r.Partitions, r.Workers, r.Complete, r.CacheHit, strconv.Quote(r.SQL), strconv.Quote(r.Err))
+		r.Partitions, r.Workers, r.AutoTuned, r.Complete, r.CacheHit,
+		strconv.Quote(r.SQL), strconv.Quote(r.Err), strconv.Quote(r.TuneReason))
 }
 
 // cmdHistory serves the query-history protocol:

@@ -473,3 +473,61 @@ func TestHistoryDisabled(t *testing.T) {
 		t.Fatalf("HISTORY on a history-less server: %v", err)
 	}
 }
+
+// TestSetAutoAndClamping: sessions accept "SET partitions auto", clamp
+// out-of-range numeric values through the shared normalization rule,
+// and never alias the plan cache with un-normalized keys.
+func TestSetAutoAndClamping(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	q := "EXPLAIN select l_tax from lineitem where l_partkey=1"
+
+	if _, _, err := c.Command("SET partitions auto"); err != nil {
+		t.Fatalf("SET partitions auto: %v", err)
+	}
+	if _, _, err := c.Command("SET workers auto"); err != nil {
+		t.Fatalf("SET workers auto: %v", err)
+	}
+	if _, _, err := c.Command(q); err != nil {
+		t.Fatalf("EXPLAIN under auto: %v", err)
+	}
+
+	// partitions=1 and the clamped partitions=0 must share one cache
+	// entry (plus the auto entry from above).
+	if _, _, err := c.Command("SET partitions 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Command(q); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.CacheStats().Len
+	if _, _, err := c.Command("SET partitions 0"); err != nil {
+		t.Fatalf("SET partitions 0 rejected instead of clamped: %v", err)
+	}
+	if _, _, err := c.Command(q); err != nil {
+		t.Fatal(err)
+	}
+	if after := srv.CacheStats().Len; after != before {
+		t.Errorf("clamped partitions=0 added a cache entry: %d -> %d", before, after)
+	}
+
+	// Garbage still errors.
+	if _, _, err := c.Command("SET partitions zero"); err == nil {
+		t.Error("non-numeric SET accepted")
+	}
+}
+
+// TestServerDefaultsAreAdaptive: a fresh session executes QUERY without
+// any SET and the tiny test catalog resolves to sequential execution —
+// the default is auto, not a fixed knob.
+func TestServerDefaultsAreAdaptive(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	_, payload, err := c.Command("QUERY select l_returnflag, sum(l_quantity) as s from lineitem group by l_returnflag order by l_returnflag")
+	if err != nil {
+		t.Fatalf("QUERY under default (auto) settings: %v", err)
+	}
+	if len(payload) < 2 {
+		t.Fatalf("payload = %v", payload)
+	}
+}

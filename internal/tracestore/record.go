@@ -51,6 +51,12 @@ type RunMeta struct {
 	Partitions   int
 	Workers      int
 	Instructions int
+	// AutoTuned reports that Partitions/Workers were chosen adaptively
+	// (stethoscope.Auto) rather than configured; TuneReason records what
+	// the selection saw (row counts, cores) and what it picked, so a
+	// stored trace explains its own fan-out.
+	AutoTuned  bool
+	TuneReason string
 }
 
 // RunStats is the completion accounting written with an end record.
@@ -72,6 +78,15 @@ func encodeBegin(id uint64, m RunMeta) []byte {
 	b = binary.AppendUvarint(b, uint64(m.Instructions))
 	b = appendString(b, m.SQL)
 	b = appendString(b, m.Dot)
+	// Auto-tune trailer, appended after the original field set: decoders
+	// treat its absence as "not auto-tuned", which keeps pre-trailer
+	// stores readable.
+	var flags byte
+	if m.AutoTuned {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = appendString(b, m.TuneReason)
 	return b
 }
 
@@ -195,6 +210,12 @@ func decodeBegin(b []byte) (id uint64, m RunMeta, err error) {
 	m.Instructions = int(r.uvarint())
 	m.SQL = r.string()
 	m.Dot = r.string()
+	// The auto-tune trailer is optional: begin records written before it
+	// existed end here and decode with the zero values.
+	if r.err == nil && r.pos < len(r.b) {
+		m.AutoTuned = r.byte()&1 != 0
+		m.TuneReason = r.string()
+	}
 	return id, m, r.err
 }
 

@@ -89,6 +89,10 @@ type RunInfo struct {
 	Partitions   int
 	Workers      int
 	Instructions int
+	// AutoTuned/TuneReason record whether (and why) the partition and
+	// worker counts were chosen adaptively; see RunMeta.
+	AutoTuned  bool
+	TuneReason string
 	// Events is the number of stored profiler events.
 	Events int
 	// Complete reports whether the end record was written; ElapsedUs,
@@ -395,6 +399,7 @@ func (s *Store) indexRecord(ref recRef, payload []byte) int {
 			info: RunInfo{
 				ID: id, SQL: m.SQL, Start: m.Start,
 				Partitions: m.Partitions, Workers: m.Workers, Instructions: m.Instructions,
+				AutoTuned: m.AutoTuned, TuneReason: m.TuneReason,
 			},
 			refs: []recRef{ref},
 		}
@@ -507,6 +512,7 @@ func (s *Store) Begin(meta RunMeta) (*RunWriter, error) {
 		info: RunInfo{
 			ID: id, SQL: meta.SQL, Start: meta.Start,
 			Partitions: meta.Partitions, Workers: meta.Workers, Instructions: meta.Instructions,
+			AutoTuned: meta.AutoTuned, TuneReason: meta.TuneReason,
 		},
 		refs: []recRef{ref},
 	}

@@ -1,6 +1,7 @@
 package tracestore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -598,4 +599,53 @@ func fileSize(t *testing.T, path string) int64 {
 		t.Fatal(err)
 	}
 	return fi.Size()
+}
+
+func TestBeginRecordAutoTuneTrailerRoundTrip(t *testing.T) {
+	m := RunMeta{
+		SQL: "select 1", Dot: "digraph{}", Start: time.Unix(0, 12345),
+		Partitions: 8, Workers: 4, Instructions: 17,
+		AutoTuned: true, TuneReason: "auto: rows=60175 procs=4 -> 8 partitions",
+	}
+	id, got, err := decodeBegin(encodeBegin(42, m)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 {
+		t.Errorf("id = %d", id)
+	}
+	if got.AutoTuned != m.AutoTuned || got.TuneReason != m.TuneReason {
+		t.Errorf("auto-tune trailer lost: %+v", got)
+	}
+	if got.Partitions != 8 || got.Workers != 4 || got.SQL != m.SQL || got.Dot != m.Dot {
+		t.Errorf("base fields corrupted: %+v", got)
+	}
+}
+
+// encodeBeginLegacy renders a begin payload in the pre-trailer format,
+// byte for byte what old stores contain.
+func encodeBeginLegacy(id uint64, m RunMeta) []byte {
+	b := []byte{1 /* recBegin */}
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendVarint(b, m.Start.UnixNano())
+	b = binary.AppendUvarint(b, uint64(m.Partitions))
+	b = binary.AppendUvarint(b, uint64(m.Workers))
+	b = binary.AppendUvarint(b, uint64(m.Instructions))
+	b = appendString(b, m.SQL)
+	b = appendString(b, m.Dot)
+	return b
+}
+
+func TestDecodeBeginToleratesLegacyRecords(t *testing.T) {
+	m := RunMeta{SQL: "select 2", Dot: "digraph{}", Start: time.Unix(0, 99), Partitions: 2, Workers: 2, Instructions: 5}
+	id, got, err := decodeBegin(encodeBeginLegacy(7, m)[1:])
+	if err != nil {
+		t.Fatalf("legacy begin record failed to decode: %v", err)
+	}
+	if id != 7 || got.SQL != m.SQL || got.Partitions != 2 {
+		t.Errorf("legacy fields corrupted: id=%d %+v", id, got)
+	}
+	if got.AutoTuned || got.TuneReason != "" {
+		t.Errorf("legacy record decoded with auto-tune set: %+v", got)
+	}
 }

@@ -1,0 +1,90 @@
+package stethoscope_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"stethoscope"
+)
+
+// scalingQuery is an aggregate/group-by TPC-H pipeline whose merged
+// aggregates (count, min, max) are exact under mitosis, so auto and
+// sequential execution must agree byte for byte.
+const scalingQuery = "select l_returnflag, count(*) as n, min(l_quantity) as mn, max(l_quantity) as mx " +
+	"from lineitem where l_shipdate <= date '1998-09-02' group by l_returnflag order by l_returnflag"
+
+// bestOf runs the query n times under the given options and returns the
+// fastest run plus the last result.
+func bestOf(t *testing.T, db *stethoscope.DB, n int, opts ...stethoscope.ExecOption) (time.Duration, *stethoscope.Result) {
+	t.Helper()
+	best := time.Duration(1<<62 - 1)
+	var res *stethoscope.Result
+	for i := 0; i < n; i++ {
+		r, err := db.Exec(context.Background(), scalingQuery, opts...)
+		if err != nil {
+			t.Fatalf("Exec: %v", err)
+		}
+		if r.Stats.Elapsed < best {
+			best = r.Stats.Elapsed
+		}
+		res = r
+	}
+	return best, res
+}
+
+// TestAutoParallelSpeedup is the acceptance gate of the adaptive
+// execution path: on a machine with at least 4 cores, the auto-tuned
+// aggregate query must run at least 2x faster than fully sequential
+// execution, with byte-identical results. On fewer cores (where auto
+// legitimately resolves to little or no parallelism) and under the race
+// detector the ratio assertion is skipped but result equality still
+// holds.
+func TestAutoParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement skipped in -short mode")
+	}
+	db, err := stethoscope.Open(
+		stethoscope.WithScaleFactor(0.05), stethoscope.WithSeed(42),
+		stethoscope.WithPartitions(stethoscope.Auto),
+		stethoscope.WithWorkers(stethoscope.Auto))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const rounds = 5
+	seqBest, seqRes := bestOf(t, db, rounds, stethoscope.ExecPartitions(1), stethoscope.ExecWorkers(1))
+	autoBest, autoRes := bestOf(t, db, rounds)
+
+	// Results must be byte-identical regardless of core count: the
+	// query's aggregates are exact under mergetable recombination.
+	var seqBuf, autoBuf strings.Builder
+	if err := seqRes.WriteTable(&seqBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := autoRes.WriteTable(&autoBuf); err != nil {
+		t.Fatal(err)
+	}
+	if seqBuf.String() != autoBuf.String() {
+		t.Fatalf("auto execution result differs from sequential:\nseq:\n%s\nauto:\n%s", seqBuf.String(), autoBuf.String())
+	}
+
+	procs := runtime.GOMAXPROCS(0)
+	t.Logf("procs=%d auto: partitions=%d workers=%d (%s) seq=%v auto=%v ratio=%.2fx",
+		procs, autoRes.Stats.Partitions, autoRes.Stats.Workers, autoRes.Stats.TuneReason,
+		seqBest, autoBest, float64(seqBest)/float64(autoBest))
+	if procs < 4 {
+		t.Skipf("speedup ratio needs >= 4 cores, have %d", procs)
+	}
+	if raceEnabled {
+		t.Skip("speedup ratio skipped under the race detector")
+	}
+	if autoRes.Stats.Partitions < 2 || autoRes.Stats.Workers < 2 {
+		t.Fatalf("auto resolved to partitions=%d workers=%d on a %d-core machine",
+			autoRes.Stats.Partitions, autoRes.Stats.Workers, procs)
+	}
+	if ratio := float64(seqBest) / float64(autoBest); ratio < 2.0 {
+		t.Errorf("auto-parallel speedup = %.2fx, want >= 2.0x (seq %v, auto %v)", ratio, seqBest, autoBest)
+	}
+}

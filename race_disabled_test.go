@@ -1,0 +1,6 @@
+//go:build !race
+
+package stethoscope_test
+
+// raceEnabled reports that the race detector instruments this build.
+const raceEnabled = false

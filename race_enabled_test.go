@@ -1,0 +1,8 @@
+//go:build race
+
+package stethoscope_test
+
+// raceEnabled reports that the race detector instruments this build;
+// timing-ratio assertions are skipped (instrumentation distorts the
+// sequential/parallel balance) while correctness checks still run.
+const raceEnabled = true

@@ -76,9 +76,17 @@ type Stats struct {
 	Elapsed time.Duration
 	// Instructions is the optimized plan length.
 	Instructions int
-	// Partitions and Workers are the settings the query ran with.
+	// Partitions and Workers are the settings the query actually ran
+	// with: Auto requests are resolved before execution, so these are
+	// always concrete counts.
 	Partitions int
 	Workers    int
+	// AutoTuned reports that Partitions and/or Workers were chosen
+	// adaptively (the Auto sentinel); TuneReason records what the
+	// selection saw and picked, e.g.
+	// "auto: rows=60175 procs=4 -> 8 partitions (...)".
+	AutoTuned  bool
+	TuneReason string
 	// CacheHit reports whether the optimized plan came from the shared
 	// plan cache (compilation was skipped entirely).
 	CacheHit bool

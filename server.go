@@ -83,12 +83,16 @@ func (r *Remote) TraceTo(udpAddr string) error {
 }
 
 // Configure sets the connection's mitosis partition and dataflow worker
-// counts.
+// counts. Pass Auto for either to restore the server's default adaptive
+// sizing (the protocol's "SET partitions auto" / "SET workers auto").
 func (r *Remote) Configure(partitions, workers int) error {
-	for _, cmd := range []string{
-		fmt.Sprintf("SET partitions %d", partitions),
-		fmt.Sprintf("SET workers %d", workers),
-	} {
+	setting := func(name string, n int) string {
+		if n == Auto {
+			return fmt.Sprintf("SET %s auto", name)
+		}
+		return fmt.Sprintf("SET %s %d", name, n)
+	}
+	for _, cmd := range []string{setting("partitions", partitions), setting("workers", workers)} {
 		if _, _, err := r.c.Command(cmd); err != nil {
 			return err
 		}

@@ -9,12 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"stethoscope/internal/algebra"
-	"stethoscope/internal/compiler"
+	"stethoscope/internal/adaptive"
 	"stethoscope/internal/engine"
-	"stethoscope/internal/mal"
 	"stethoscope/internal/optimizer"
 	"stethoscope/internal/plancache"
+	"stethoscope/internal/planner"
 	"stethoscope/internal/profiler"
 	"stethoscope/internal/sql"
 	"stethoscope/internal/storage"
@@ -25,6 +24,15 @@ import (
 // DefaultPlanCacheSize is the compiled-plan cache capacity Open uses
 // unless WithPlanCacheSize overrides it.
 const DefaultPlanCacheSize = plancache.DefaultSize
+
+// Auto requests adaptive selection wherever a partition or worker count
+// is configured (WithPartitions, WithWorkers, ExecPartitions,
+// ExecWorkers, the server's SET command): the mitosis fan-out is chosen
+// per query from the scanned tables' row counts and the machine's core
+// count, and the dataflow worker count from the resolved fan-out. The
+// choice and its reason are recorded in Result.Stats
+// (Partitions/Workers/TuneReason) and in the query history's RunMeta.
+const Auto = adaptive.Auto
 
 // config collects the Open-time settings.
 type config struct {
@@ -48,19 +56,21 @@ func WithScaleFactor(sf float64) Option { return func(c *config) { c.sf = sf } }
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
 // WithPartitions sets the default mitosis partition count queries are
-// compiled with (default 1 — no partitioning). ExecPartitions overrides
-// it per query.
+// compiled with (default 1 — no partitioning). Pass Auto to size the
+// fan-out per query from catalog row counts and the core count.
+// ExecPartitions overrides it per query.
 func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } }
 
 // WithWorkers sets the default dataflow worker count queries execute
-// with (default 1 — sequential interpretation). ExecWorkers overrides it
-// per query.
+// with (default 1 — sequential interpretation). Pass Auto to derive the
+// worker count from the resolved partition fan-out and the core count.
+// ExecWorkers overrides it per query.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithOptimizerPasses selects the MAL optimizer pipeline by pass name,
-// in order. Known passes: "cse", "deadcode". An explicit empty list
-// disables optimization; omitting the option selects the default
-// pipeline (cse, deadcode).
+// in order. Known passes: "cse", "matfold", "deadcode". An explicit
+// empty list disables optimization; omitting the option selects the
+// default pipeline (cse, matfold, deadcode).
 func WithOptimizerPasses(names ...string) Option {
 	return func(c *config) {
 		if names == nil {
@@ -94,10 +104,12 @@ func buildPipeline(names []string) (optimizer.Pipeline, error) {
 		switch strings.ToLower(n) {
 		case "cse":
 			pl.Passes = append(pl.Passes, optimizer.CSE{})
+		case "matfold":
+			pl.Passes = append(pl.Passes, optimizer.MatFold{})
 		case "deadcode":
 			pl.Passes = append(pl.Passes, optimizer.DeadCode{})
 		default:
-			return pl, fmt.Errorf("stethoscope: unknown optimizer pass %q (have cse, deadcode)", n)
+			return pl, fmt.Errorf("stethoscope: unknown optimizer pass %q (have cse, matfold, deadcode)", n)
 		}
 	}
 	return pl, nil
@@ -116,6 +128,7 @@ type DB struct {
 	cat      *storage.Catalog
 	eng      *engine.Engine
 	cache    *plancache.Cache // nil when caching is disabled
+	planner  planner.Planner  // the shared compile flow over cat/cache/pipeline
 	hist     *History         // nil when query history is disabled
 
 	opened   time.Time
@@ -133,8 +146,8 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.sf <= 0 {
 		return nil, fmt.Errorf("stethoscope: scale factor must be positive, got %g", cfg.sf)
 	}
-	if cfg.partitions < 1 || cfg.workers < 1 {
-		return nil, fmt.Errorf("stethoscope: partitions and workers must be >= 1")
+	if (cfg.partitions < 1 && cfg.partitions != Auto) || (cfg.workers < 1 && cfg.workers != Auto) {
+		return nil, fmt.Errorf("stethoscope: partitions and workers must be >= 1 (or Auto)")
 	}
 	pl, err := buildPipeline(cfg.passes)
 	if err != nil {
@@ -155,6 +168,7 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.cacheSize > 0 {
 		db.cache = plancache.New(cfg.cacheSize)
 	}
+	db.planner = planner.Planner{Cat: cat, Cache: db.cache, Pipeline: pl, PassSpec: db.passSpec}
 	if cfg.history != nil {
 		hist, err := OpenHistoryConfig(*cfg.history)
 		if err != nil {
@@ -219,55 +233,44 @@ type execConfig struct {
 // Debug call.
 type ExecOption func(*execConfig)
 
-// ExecPartitions compiles this query with n mitosis partitions.
+// ExecPartitions compiles this query with n mitosis partitions. Pass
+// Auto to size the fan-out from the scanned tables and the core count.
 func ExecPartitions(n int) ExecOption { return func(c *execConfig) { c.partitions = n } }
 
-// ExecWorkers executes this query on n dataflow workers.
+// ExecWorkers executes this query on n dataflow workers. Pass Auto to
+// derive the worker count from the partition fan-out and the core
+// count.
 func ExecWorkers(n int) ExecOption { return func(c *execConfig) { c.workers = n } }
 
+// execConfig resolves the per-call overrides and normalizes them: Auto
+// survives as the sentinel, anything below 1 clamps to 1. Every entry
+// point (Exec, Explain, Debug — and, via the same adaptive.Normalize
+// rule, the server's SET command) shares this normalization, and it
+// runs before plan-cache keys are built or metadata recorded:
+// ExecPartitions(0) used to compile the partitions=1 plan into a second
+// cache entry under Key{Partitions:0} and write the bogus 0 into the
+// history RunMeta.
 func (db *DB) execConfig(opts []ExecOption) execConfig {
 	ec := execConfig{partitions: db.cfg.partitions, workers: db.cfg.workers}
 	for _, o := range opts {
 		o(&ec)
 	}
+	ec.partitions = adaptive.Normalize(ec.partitions)
+	ec.workers = adaptive.Normalize(ec.workers)
 	return ec
 }
 
-// compile lowers SQL to an optimized MAL plan under the DB's pipeline,
-// consulting the shared plan cache first. cached reports whether the
-// whole parse → bind → compile → optimize chain was skipped. Cached
-// plans are shared between concurrent executions and must be treated as
-// immutable by callers. aux (nil when caching is disabled) memoizes
-// derived artifacts — notably the dot export the history store records
-// — so repeated executions of a cached plan render them once.
-func (db *DB) compile(query string, partitions int) (plan *mal.Plan, stats OptimizerStats, aux *plancache.Aux, cached bool, err error) {
-	key := plancache.Key{SQL: query, Partitions: partitions, Passes: db.passSpec}
-	if db.cache != nil {
-		if e, ok := db.cache.Get(key); ok {
-			return e.Plan, e.Opt, e.Aux, true, nil
-		}
-	}
-	stmt, err := sql.Parse(query)
+// compile lowers SQL to an optimized MAL plan through the shared
+// planner flow (internal/planner — the same flow every server session
+// compiles through). partitions must be normalized (execConfig does
+// this); the Auto sentinel keys the plan cache directly and is resolved
+// after bind, with the resolution memoized in the entry.
+func (db *DB) compile(query string, partitions int) (planner.Compiled, error) {
+	comp, err := db.planner.Compile(query, partitions)
 	if err != nil {
-		return nil, stats, nil, false, fmt.Errorf("stethoscope: parse: %w", err)
+		return planner.Compiled{}, fmt.Errorf("stethoscope: %w", err)
 	}
-	tree, err := algebra.Bind(stmt, db.cat)
-	if err != nil {
-		return nil, stats, nil, false, fmt.Errorf("stethoscope: bind: %w", err)
-	}
-	plan, err = compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: partitions})
-	if err != nil {
-		return nil, stats, nil, false, fmt.Errorf("stethoscope: compile: %w", err)
-	}
-	plan, stats, err = db.pipeline.Run(plan)
-	if err != nil {
-		return nil, stats, nil, false, fmt.Errorf("stethoscope: optimize: %w", err)
-	}
-	if db.cache != nil {
-		aux = &plancache.Aux{}
-		db.cache.Put(key, plancache.Entry{Plan: plan, Opt: stats, Aux: aux})
-	}
-	return plan, stats, aux, false, nil
+	return comp, nil
 }
 
 // Exec compiles, optimizes, and executes one SQL query under the
@@ -277,10 +280,12 @@ func (db *DB) compile(query string, partitions int) (plan *mal.Plan, stats Optim
 // instructions, dataflow runs stop dispatching work.
 func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Result, error) {
 	ec := db.execConfig(opts)
-	plan, ostats, aux, cached, err := db.compile(query, ec.partitions)
+	comp, err := db.compile(query, ec.partitions)
 	if err != nil {
 		return nil, err
 	}
+	plan := comp.Plan
+	workers, autoTuned, tuneReason := comp.ResolveExec(ec.workers)
 	db.inflight.Add(1)
 	defer db.inflight.Add(-1)
 	// Two events (start + done) per instruction: preallocate exactly.
@@ -300,10 +305,12 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 	if db.hist != nil {
 		rec, err = db.hist.st.Begin(tracestore.RunMeta{
 			SQL:          query,
-			Dot:          plancache.DotText(plan, aux),
-			Partitions:   ec.partitions,
-			Workers:      ec.workers,
+			Dot:          plancache.DotText(plan, comp.Aux),
+			Partitions:   comp.Partitions,
+			Workers:      workers,
 			Instructions: len(plan.Instrs),
+			AutoTuned:    autoTuned,
+			TuneReason:   tuneReason,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("stethoscope: history: %w", err)
@@ -313,7 +320,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 	}
 	start := time.Now()
 	res, err := db.eng.RunContext(ctx, plan, engine.Options{
-		Workers:  ec.workers,
+		Workers:  workers,
 		Profiler: profiler.New(sinks...),
 	})
 	elapsed := time.Since(start)
@@ -325,7 +332,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 			st.Err = err.Error()
 		} else {
 			st.Rows = res.Rows()
-			st.CacheHit = cached
+			st.CacheHit = comp.Cached
 		}
 		if herr := rec.Finish(st); herr != nil && err == nil {
 			return nil, fmt.Errorf("stethoscope: history: %w", herr)
@@ -342,12 +349,14 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 		traceView: traceView{events: events},
 		Query:     query,
 		Stats: Stats{
-			Optimizer:    ostats,
+			Optimizer:    comp.Opt,
 			Elapsed:      elapsed,
 			Instructions: len(plan.Instrs),
-			Partitions:   ec.partitions,
-			Workers:      ec.workers,
-			CacheHit:     cached,
+			Partitions:   comp.Partitions,
+			Workers:      workers,
+			AutoTuned:    autoTuned,
+			TuneReason:   tuneReason,
+			CacheHit:     comp.Cached,
 			RunID:        runID,
 		},
 		plan: plan,
@@ -356,14 +365,15 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 }
 
 // Explain compiles and optimizes the query without executing it and
-// returns the MAL listing.
+// returns the MAL listing. Partition settings (including Auto) are
+// normalized and resolved exactly as Exec would.
 func (db *DB) Explain(query string, opts ...ExecOption) (string, error) {
 	ec := db.execConfig(opts)
-	plan, _, _, _, err := db.compile(query, ec.partitions)
+	comp, err := db.compile(query, ec.partitions)
 	if err != nil {
 		return "", err
 	}
-	return plan.String(), nil
+	return comp.Plan.String(), nil
 }
 
 // DBStats is a point-in-time snapshot of the DB's serving counters.
