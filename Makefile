@@ -1,7 +1,23 @@
 GO ?= go
 SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: verify fmt vet build test race bench bench-smoke bench-record examples
+# Perf-regression gate policy; keep in sync with the bench-gate step in
+# .github/workflows/ci.yml. GATE is the default allowed regression in
+# percent (generous: bench-record runs -benchtime 1x -count 3 on shared
+# runners). GATE_MIN_NS is the noise floor — benchmarks measuring below
+# it are timer jitter at 1x benchtime and are not gated. GATE_OVERRIDES
+# tightens stable ms-scale benchmarks and loosens the noise-prone
+# concurrency/network ones.
+GATE ?= 25
+GATE_MIN_NS ?= 100000
+GATE_OVERRIDES ?= BenchmarkHistoryTopN=15,BenchmarkConcurrentExec=50,BenchmarkE8UDPStream=50,BenchmarkE8UDPStreamBatched=50
+
+# Pinned static-analysis tool versions; keep in sync with the lint job
+# in .github/workflows/ci.yml.
+STATICCHECK_VERSION ?= v0.6.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: verify fmt vet build test race lint bench bench-smoke bench-record examples
 
 verify: fmt vet build test race bench-smoke
 
@@ -23,6 +39,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# lint mirrors the CI lint job: staticcheck + govulncheck at pinned
+# versions (fetches the tools on first use; not part of verify so
+# offline verification keeps working).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
@@ -34,11 +57,25 @@ bench-smoke:
 # bench-record mirrors the CI bench-record job: the experiment
 # benchmarks, 3 repetitions, converted to BENCH_<sha>.json. When a
 # previous artifact is saved as BENCH_baseline.json, a per-benchmark
-# delta summary is printed (benchjson -baseline).
+# delta summary is printed and then ENFORCED: any benchmark more than
+# GATE percent slower than the baseline fails the target (benchjson
+# -gate), unless the HEAD commit message contains [bench-skip]. Without
+# a baseline both the summary and the gate are skipped. The bench run
+# writes to bench.txt in its own command (not a pipe): POSIX sh has no
+# pipefail, and a crashed benchmark must fail the target instead of
+# gating a truncated record.
 bench-record:
-	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory|BenchmarkParallelScaling' \
-		-benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json > BENCH_$(SHA).json
+	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory|BenchmarkParallel' \
+		-benchtime 1x -count 3 -run '^$$' . > bench.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json < bench.txt > BENCH_$(SHA).json
 	@echo wrote BENCH_$(SHA).json
+	@if git log -1 --format=%B 2>/dev/null | grep -qF '[bench-skip]'; then \
+		echo "bench gate skipped: [bench-skip] in commit message"; \
+	elif [ -f BENCH_baseline.json ]; then \
+		$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate $(GATE) -gate-min-ns $(GATE_MIN_NS) -gate-override '$(GATE_OVERRIDES)' < bench.txt > /dev/null; \
+	else \
+		echo "bench gate skipped: no BENCH_baseline.json"; \
+	fi
 
 examples:
 	$(GO) run ./examples/quickstart

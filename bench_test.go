@@ -858,3 +858,51 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 	b.Run("auto", func(b *testing.B) { run(b) })
 }
+
+// BenchmarkParallelJoin is the perf trajectory of join mitosis: the
+// probe side (lineitem) sliced against a packed orders build,
+// aggregated to keep result transfer out of the measurement. Recorded
+// by bench-record and enforced by the CI bench gate from day one; the
+// companion assertion is TestAutoParallelJoinSpeedup.
+func BenchmarkParallelJoin(b *testing.B) {
+	const q = "select o_orderpriority, count(*) as n from lineitem, orders " +
+		"where l_orderkey = o_orderkey group by o_orderpriority order by o_orderpriority"
+	db, err := Open(WithScaleFactor(0.05), WithSeed(42),
+		WithPartitions(Auto), WithWorkers(Auto))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opts ...ExecOption) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(context.Background(), q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, ExecPartitions(1), ExecWorkers(1)) })
+	b.Run("auto", func(b *testing.B) { run(b) })
+}
+
+// BenchmarkParallelSort tracks sort mitosis: per-slice sorts with the
+// fused top-k truncation feeding one mat.kmerge. The companion
+// assertion is TestAutoParallelSortSpeedup.
+func BenchmarkParallelSort(b *testing.B) {
+	const q = "select l_orderkey, l_extendedprice from lineitem " +
+		"order by l_extendedprice desc, l_orderkey limit 100"
+	db, err := Open(WithScaleFactor(0.05), WithSeed(42),
+		WithPartitions(Auto), WithWorkers(Auto))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opts ...ExecOption) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(context.Background(), q, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, ExecPartitions(1), ExecWorkers(1)) })
+	b.Run("auto", func(b *testing.B) { run(b) })
+}

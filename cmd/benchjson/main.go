@@ -10,10 +10,25 @@
 // CI points this at the previous commit's artifact so the log shows the
 // perf trajectory without downloading anything.
 //
+// With -gate PCT (requires -baseline), the delta summary becomes an
+// enforced check: the process exits non-zero when any benchmark present
+// in both documents regressed by more than PCT percent (best ns/op vs
+// best ns/op, so -count repetitions absorb scheduler noise).
+// -gate-override 'name=pct,name=pct' sets per-benchmark thresholds —
+// tighter for stable CPU-bound benchmarks, looser for noisy concurrent
+// ones; an override name matches a benchmark exactly or as a
+// sub-benchmark/GOMAXPROCS prefix (longest match wins). -gate-min-ns N
+// sets the noise floor: benchmarks measuring below N ns/op in both
+// documents are dominated by timer/scheduler jitter at 1x benchtimes
+// and are not gated (unless the current run blows past the floor). A
+// missing or unreadable baseline never fails the gate: the first
+// recorded run has nothing to compare against.
+//
 // Usage:
 //
 //	go test -bench . -benchtime 1x -count 3 -run '^$' . | go run ./cmd/benchjson > BENCH_abc123.json
 //	go test -bench . ... | go run ./cmd/benchjson -baseline BENCH_prev.json > BENCH_cur.json
+//	go test -bench . ... | go run ./cmd/benchjson -baseline BENCH_prev.json -gate 25 -gate-override 'BenchmarkHistoryTopN=15' > /dev/null
 package main
 
 import (
@@ -48,6 +63,9 @@ type Document struct {
 
 func main() {
 	baseline := flag.String("baseline", "", "previously recorded BENCH_<sha>.json to diff the current run against (summary on stderr)")
+	gate := flag.Float64("gate", 0, "fail (exit 1) when any benchmark regresses more than this percent vs the baseline; 0 disables")
+	gateOverride := flag.String("gate-override", "", "comma-separated name=pct per-benchmark gate thresholds, e.g. 'BenchmarkHistoryTopN=15,BenchmarkConcurrentExec=50'")
+	gateMinNs := flag.Float64("gate-min-ns", 0, "noise floor: benchmarks whose baseline AND current best ns/op are both below this are too small to gate reliably at low benchtimes and are skipped")
 	flag.Parse()
 	doc, err := Parse(os.Stdin)
 	if err != nil {
@@ -60,23 +78,119 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if *baseline != "" {
-		f, err := os.Open(*baseline)
+	if *baseline == "" {
+		return
+	}
+	f, err := os.Open(*baseline)
+	if err != nil {
+		// A missing baseline is normal on the first recorded run; the
+		// gate has nothing to enforce against either.
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); skipping delta summary\n", err)
+		return
+	}
+	defer f.Close()
+	var base Document
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: unreadable baseline %s: %v\n", *baseline, err)
+		return
+	}
+	for _, line := range DeltaSummary(base, doc) {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if *gate > 0 {
+		overrides, err := ParseOverrides(*gateOverride)
 		if err != nil {
-			// A missing baseline is normal on the first recorded run.
-			fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); skipping delta summary\n", err)
-			return
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
 		}
-		defer f.Close()
-		var base Document
-		if err := json.NewDecoder(f).Decode(&base); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: unreadable baseline %s: %v\n", *baseline, err)
-			return
+		violations := GateViolations(base, doc, *gate, *gateMinNs, overrides)
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED — %d benchmark(s) regressed past the threshold:\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  "+v)
+			}
+			fmt.Fprintln(os.Stderr, "benchjson: commit with [bench-skip] in the message to bypass a known, accepted regression")
+			os.Exit(1)
 		}
-		for _, line := range DeltaSummary(base, doc) {
-			fmt.Fprintln(os.Stderr, line)
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed (threshold %.0f%%, %d overrides)\n", *gate, len(overrides))
+	}
+}
+
+// ParseOverrides parses the -gate-override syntax: comma-separated
+// name=pct pairs.
+func ParseOverrides(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, pctStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad gate override %q (want name=pct)", pair)
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSpace(pctStr), 64)
+		if err != nil || pct <= 0 {
+			return nil, fmt.Errorf("bad gate override threshold %q", pair)
+		}
+		out[strings.TrimSpace(name)] = pct
+	}
+	return out, nil
+}
+
+// thresholdFor picks the gate threshold for one benchmark: the longest
+// override whose name matches exactly or as a sub-benchmark ("/") or
+// GOMAXPROCS ("-N") prefix, else the default.
+func thresholdFor(name string, defaultPct float64, overrides map[string]float64) float64 {
+	best, bestLen := defaultPct, -1
+	for key, pct := range overrides {
+		if len(key) <= bestLen {
+			continue
+		}
+		if name == key || strings.HasPrefix(name, key+"/") || strings.HasPrefix(name, key+"-") {
+			best, bestLen = pct, len(key)
 		}
 	}
+	return best
+}
+
+// GateViolations returns one line per benchmark present in both
+// documents whose best ns/op regressed past its threshold. Added and
+// removed benchmarks never violate the gate — coverage changes are the
+// bench-smoke job's concern. minNs is the noise floor: a benchmark
+// whose baseline and current bests are BOTH below it measures mostly
+// timer and scheduler jitter at the recording benchtime and is skipped;
+// one that balloons from below the floor to above it still gates, so
+// the floor cannot mask a real cliff.
+func GateViolations(base, cur Document, defaultPct, minNs float64, overrides map[string]float64) []string {
+	b, c := bestNs(base), bestNs(cur)
+	names := make([]string, 0, len(c))
+	for name := range c {
+		if _, ok := b[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		baseNs, curNs := b[name], c[name]
+		if baseNs <= 0 {
+			continue
+		}
+		if baseNs < minNs && curNs < minNs {
+			continue
+		}
+		pct := (curNs - baseNs) / baseNs * 100
+		limit := thresholdFor(name, defaultPct, overrides)
+		if pct > limit {
+			out = append(out, fmt.Sprintf("%-60s %14.0f -> %14.0f ns/op  %+6.1f%% (limit %.0f%%)",
+				name, baseNs, curNs, pct, limit))
+		}
+	}
+	return out
 }
 
 // bestNs reduces repeated records (-count=N) to the best ns/op per

@@ -71,3 +71,109 @@ func TestDeltaSummary(t *testing.T) {
 		t.Errorf("missing removed-benchmark line:\n%s", joined)
 	}
 }
+
+func TestParseOverrides(t *testing.T) {
+	m, err := ParseOverrides(" BenchmarkA=15, BenchmarkB/x = 50 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["BenchmarkA"] != 15 || m["BenchmarkB/x"] != 50 {
+		t.Errorf("overrides = %v", m)
+	}
+	if m, err := ParseOverrides(""); err != nil || len(m) != 0 {
+		t.Errorf("empty override spec: %v %v", m, err)
+	}
+	for _, bad := range []string{"BenchmarkA", "BenchmarkA=", "BenchmarkA=-3", "BenchmarkA=x"} {
+		if _, err := ParseOverrides(bad); err == nil {
+			t.Errorf("ParseOverrides(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestThresholdForLongestPrefix(t *testing.T) {
+	overrides := map[string]float64{
+		"BenchmarkParallelJoin":      40,
+		"BenchmarkParallelJoin/auto": 10,
+	}
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"BenchmarkParallelJoin/auto-8", 10},
+		{"BenchmarkParallelJoin/sequential-8", 40},
+		{"BenchmarkParallelJoin", 40},    // exact match
+		{"BenchmarkParallelJoinX-8", 25}, // no separator: not a match
+		{"BenchmarkParallelSort/auto-8", 25},
+	}
+	for _, c := range cases {
+		if got := thresholdFor(c.name, 25, overrides); got != c.want {
+			t.Errorf("thresholdFor(%q) = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGateViolations(t *testing.T) {
+	base := Document{Benchmarks: []Record{
+		{Name: "BenchmarkStable-8", NsPerOp: 100},
+		{Name: "BenchmarkRegressed-8", NsPerOp: 100},
+		{Name: "BenchmarkRemoved-8", NsPerOp: 100},
+		{Name: "BenchmarkNoisy/x-8", NsPerOp: 100},
+	}}
+	cur := Document{Benchmarks: []Record{
+		{Name: "BenchmarkStable-8", NsPerOp: 110},    // +10%: under the default gate
+		{Name: "BenchmarkRegressed-8", NsPerOp: 140}, // +40%: over
+		{Name: "BenchmarkNew-8", NsPerOp: 500},       // new: never gated
+		{Name: "BenchmarkNoisy/x-8", NsPerOp: 140},   // +40%: allowed by override
+	}}
+	got := GateViolations(base, cur, 25, 0, map[string]float64{"BenchmarkNoisy": 50})
+	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkRegressed-8") {
+		t.Fatalf("violations = %v", got)
+	}
+	// Best-of-count gating: one fast repetition clears the gate even
+	// when the other repetitions were slow (scheduler noise absorption).
+	cur2 := Document{Benchmarks: []Record{
+		{Name: "BenchmarkRegressed-8", NsPerOp: 300},
+		{Name: "BenchmarkRegressed-8", NsPerOp: 105},
+	}}
+	if got := GateViolations(base, cur2, 25, 0, nil); len(got) != 0 {
+		t.Fatalf("best-of gating failed: %v", got)
+	}
+	// A tighter override fires below the default threshold.
+	got = GateViolations(base,
+		Document{Benchmarks: []Record{{Name: "BenchmarkStable-8", NsPerOp: 120}}},
+		25, 0, map[string]float64{"BenchmarkStable": 10})
+	if len(got) != 1 {
+		t.Fatalf("tight override did not fire: %v", got)
+	}
+	// Exactly-at-threshold passes: the gate is strictly greater-than.
+	got = GateViolations(base,
+		Document{Benchmarks: []Record{{Name: "BenchmarkStable-8", NsPerOp: 125}}}, 25, 0, nil)
+	if len(got) != 0 {
+		t.Fatalf("at-threshold regression flagged: %v", got)
+	}
+}
+
+func TestGateNoiseFloor(t *testing.T) {
+	base := Document{Benchmarks: []Record{
+		{Name: "BenchmarkMicro-8", NsPerOp: 2000},
+		{Name: "BenchmarkCliff-8", NsPerOp: 2000},
+		{Name: "BenchmarkBig-8", NsPerOp: 1_000_000},
+	}}
+	cur := Document{Benchmarks: []Record{
+		{Name: "BenchmarkMicro-8", NsPerOp: 4000},    // +100% but under the floor: jitter
+		{Name: "BenchmarkCliff-8", NsPerOp: 500_000}, // blows past the floor: real cliff
+		{Name: "BenchmarkBig-8", NsPerOp: 1_500_000}, // +50% above the floor: gated
+	}}
+	got := GateViolations(base, cur, 25, 100_000, nil)
+	if len(got) != 2 {
+		t.Fatalf("violations = %v, want cliff + big", got)
+	}
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "BenchmarkCliff-8") || !strings.Contains(joined, "BenchmarkBig-8") {
+		t.Fatalf("violations = %v", got)
+	}
+	// Floor disabled: the micro jitter is flagged too.
+	if got := GateViolations(base, cur, 25, 0, nil); len(got) != 3 {
+		t.Fatalf("floorless violations = %v", got)
+	}
+}

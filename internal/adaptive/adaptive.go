@@ -82,21 +82,37 @@ func JoinReasons(a, b string) string {
 func Procs() int { return runtime.GOMAXPROCS(0) }
 
 // Partitions chooses the mitosis fan-out for a query whose largest
-// scanned table has maxRows rows, on procs cores. The policy: one
-// partition per MinRowsPerPartition rows, but never more than the core
-// count would keep busy (modestly oversubscribed so slices of uneven
-// selectivity still balance), and never more than MaxPartitions. The
-// returned reason string records the inputs and the decision for
-// Result.Stats and the history RunMeta.
+// scanned table has maxRows rows, on procs cores — the plain-scan cost
+// shape. See PartitionsFor for the shape-aware form.
 func Partitions(maxRows, procs int) (int, string) {
+	return PartitionsFor(maxRows, procs, "scan")
+}
+
+// PartitionsFor chooses the mitosis fan-out from the rows that actually
+// parallelize under the query's cost shape, on procs cores. shape names
+// where the rows came from and is recorded in the tuning note: "scan"
+// (largest scanned table), "join-probe" (the probe-side rows of a
+// partitioned hash join — the build side is packed and hashed once, so
+// a huge build table must not inflate the fan-out), "sort" (the sorted
+// input's rows; the k-way merge recombination is sequential, so the
+// fan-out only buys per-slice sort time). The policy: one partition per
+// MinRowsPerPartition rows, but never more than the core count would
+// keep busy (modestly oversubscribed so slices of uneven selectivity
+// still balance), and never more than MaxPartitions. The returned
+// reason string records the inputs and the decision for Result.Stats
+// and the history RunMeta.
+func PartitionsFor(rows, procs int, shape string) (int, string) {
 	if procs < 1 {
 		procs = 1
 	}
-	if maxRows < 2*MinRowsPerPartition || procs == 1 {
-		return 1, fmt.Sprintf("auto: rows=%d procs=%d -> sequential (below %d-row mitosis threshold or single core)",
-			maxRows, procs, 2*MinRowsPerPartition)
+	if shape == "" {
+		shape = "scan"
 	}
-	k := maxRows / MinRowsPerPartition
+	if rows < 2*MinRowsPerPartition || procs == 1 {
+		return 1, fmt.Sprintf("auto: shape=%s rows=%d procs=%d -> sequential (below %d-row mitosis threshold or single core)",
+			shape, rows, procs, 2*MinRowsPerPartition)
+	}
+	k := rows / MinRowsPerPartition
 	// Oversubscribe 2x so uneven slices (skewed selectivity) rebalance
 	// across the worker pool instead of serializing on the slowest slice.
 	if cap := 2 * procs; k > cap {
@@ -105,8 +121,8 @@ func Partitions(maxRows, procs int) (int, string) {
 	if k > MaxPartitions {
 		k = MaxPartitions
 	}
-	return k, fmt.Sprintf("auto: rows=%d procs=%d -> %d partitions (%d-row target slices, 2x core oversubscription)",
-		maxRows, procs, k, MinRowsPerPartition)
+	return k, fmt.Sprintf("auto: shape=%s rows=%d procs=%d -> %d partitions (%d-row target slices, 2x core oversubscription)",
+		shape, rows, procs, k, MinRowsPerPartition)
 }
 
 // Workers chooses the dataflow worker count for a plan compiled with

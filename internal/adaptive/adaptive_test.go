@@ -79,3 +79,26 @@ func TestPartitionsNeverBelowOne(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionsForShape: the shape label flows into the tuning note,
+// and the plain Partitions wrapper is the scan shape.
+func TestPartitionsForShape(t *testing.T) {
+	for _, shape := range []string{"scan", "join-probe", "sort"} {
+		k, reason := PartitionsFor(100_000, 8, shape)
+		if k < 2 {
+			t.Errorf("PartitionsFor(100k, 8, %q) = %d, want parallel", shape, k)
+		}
+		if !strings.Contains(reason, "shape="+shape) {
+			t.Errorf("reason %q lacks shape=%s", reason, shape)
+		}
+	}
+	// Empty shape defaults to scan instead of emitting a bare "shape=".
+	if _, reason := PartitionsFor(100, 8, ""); !strings.Contains(reason, "shape=scan") {
+		t.Errorf("empty-shape reason = %q", reason)
+	}
+	k1, r1 := Partitions(100_000, 8)
+	k2, r2 := PartitionsFor(100_000, 8, "scan")
+	if k1 != k2 || r1 != r2 {
+		t.Errorf("Partitions != PartitionsFor scan: (%d,%q) vs (%d,%q)", k1, r1, k2, r2)
+	}
+}

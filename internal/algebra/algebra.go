@@ -313,8 +313,7 @@ func Scans(n Node) []*Scan {
 }
 
 // MaxScanRows returns the largest row count among the tree's scanned
-// tables under cat (0 when nothing resolves) — the driving input of the
-// adaptive mitosis fan-out.
+// tables under cat (0 when nothing resolves).
 func MaxScanRows(n Node, cat *storage.Catalog) int {
 	max := 0
 	for _, s := range Scans(n) {
@@ -323,6 +322,63 @@ func MaxScanRows(n Node, cat *storage.Catalog) int {
 		}
 	}
 	return max
+}
+
+// DriverRows estimates the row count that actually parallelizes under
+// the compiler's mitosis lowering, plus the cost shape it came from —
+// the driving inputs of the adaptive fan-out selection. Joins only
+// partition their probe (left) side — the build side is packed and
+// hashed once — so a join's driver is its probe subtree, not the
+// largest scanned table: a 6M-row build table above a 60k-row probe
+// must size the fan-out from 60k. Shapes: "join-probe" when any join
+// drives the estimate, "sort" when a sort sits above a plain scan
+// pipeline, "scan" otherwise.
+func DriverRows(n Node, cat *storage.Catalog) (rows int, shape string) {
+	switch t := n.(type) {
+	case *Scan:
+		if tb, ok := cat.Table(t.SchemaName, t.Table); ok {
+			return tb.Rows(), "scan"
+		}
+		return 0, "scan"
+	case *Join:
+		rows, _ = DriverRows(t.L, cat)
+		return rows, "join-probe"
+	case *Sort:
+		rows, shape = DriverRows(t.Input, cat)
+		if shape == "scan" && consumesSlices(t.Input) {
+			shape = "sort"
+		}
+		return rows, shape
+	case *Filter:
+		return DriverRows(t.Input, cat)
+	case *GroupAgg:
+		return DriverRows(t.Input, cat)
+	case *Project:
+		return DriverRows(t.Input, cat)
+	case *Distinct:
+		return DriverRows(t.Input, cat)
+	case *Limit:
+		return DriverRows(t.Input, cat)
+	}
+	return 0, "scan"
+}
+
+// consumesSlices reports whether a sort above n would receive the
+// mitosis (partitioned) form: row-local operators and join outputs stay
+// sliced, while aggregation and distinct recombine to a packed — and
+// usually tiny — relation whose sort no longer drives the fan-out.
+func consumesSlices(n Node) bool {
+	switch t := n.(type) {
+	case *Scan:
+		return true
+	case *Filter:
+		return consumesSlices(t.Input)
+	case *Project:
+		return consumesSlices(t.Input)
+	case *Join:
+		return true
+	}
+	return false
 }
 
 // Tree renders the operator tree as an indented listing, for debugging

@@ -285,3 +285,44 @@ func TestTreeRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestDriverRows: the adaptive fan-out must key off the rows that
+// actually parallelize — the probe (left) side for joins, the sorted
+// input for sorts — with the cost shape reported alongside.
+func TestDriverRows(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		q     string
+		rows  int
+		shape string
+	}{
+		{"select l_tax from lineitem", 3, "scan"},
+		{"select l_tax from lineitem where l_partkey = 1", 3, "scan"},
+		{"select l_tax from lineitem order by l_tax", 3, "sort"},
+		{"select l_tax from lineitem order by l_tax limit 2", 3, "sort"},
+		// lineitem (3 rows) probes, orders (2 rows) builds.
+		{"select l_tax, o_totalprice from lineitem, orders where l_orderkey = o_orderkey", 3, "join-probe"},
+		// orders (2 rows) probes: the 3-row lineitem build side must not
+		// drive the estimate (MaxScanRows would say 3).
+		{"select o_totalprice, l_tax from orders, lineitem where o_orderkey = l_orderkey", 2, "join-probe"},
+		{"select o_totalprice, l_tax from orders, lineitem where o_orderkey = l_orderkey order by o_totalprice", 2, "join-probe"},
+		// The sort runs over the packed (tiny) group-by output, so it is
+		// not the cost shape driving the fan-out — the scan below is.
+		{"select l_returnflag, count(*) as n from lineitem group by l_returnflag order by l_returnflag", 3, "scan"},
+		{"select distinct l_returnflag from lineitem order by l_returnflag", 3, "scan"},
+	}
+	for _, c := range cases {
+		stmt, err := sql.Parse(c.q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.q, err)
+		}
+		tree, err := Bind(stmt, cat)
+		if err != nil {
+			t.Fatalf("Bind(%q): %v", c.q, err)
+		}
+		rows, shape := DriverRows(tree, cat)
+		if rows != c.rows || shape != c.shape {
+			t.Errorf("DriverRows(%q) = (%d, %q), want (%d, %q)", c.q, rows, shape, c.rows, c.shape)
+		}
+	}
+}

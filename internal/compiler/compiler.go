@@ -7,18 +7,22 @@
 //
 // The Partitions option implements mitosis + mergetable: scans are split
 // into horizontal slices (mat.slice) and the operators above them —
-// filters, projections, aggregations, group-bys, distinct — run once per
-// slice, reassembling (mat.pack) only where an operator genuinely needs
-// the whole relation (joins, sorts, limits, the result set). Partial
-// aggregates recombine mergetable-style: partial sums and counts are
-// summed, partial minima/maxima re-minimized (skipping empty slices),
-// per-slice group representatives are regrouped. MonetDB performs this
-// as a MAL optimizer; we perform it at lowering time, which yields the
-// same plan shape — wide independent slices that the engine's dataflow
-// scheduler runs on multiple cores (experiments F2 and E7). Degenerate
-// fragments this lowering can leave behind (packs of one slice, packs
-// that reassemble an unmodified scan) are folded away by the
-// optimizer's matfold pass.
+// filters, projections, aggregations, group-bys, distinct, join probes,
+// sorts — run once per slice, reassembling (mat.pack) only where an
+// operator genuinely needs the whole relation (the build side of a
+// join, limits, the result set). Partial results recombine
+// mergetable-style: partial sums and counts are summed, partial
+// minima/maxima re-minimized (skipping empty slices), per-slice group
+// representatives are regrouped, per-slice join-probe outputs
+// concatenate in slice order, per-slice sorted runs merge through the
+// stable mat.kmerge kernel (with ORDER BY ... LIMIT truncating each run
+// to the limit first). MonetDB performs this as a MAL optimizer; we
+// perform it at lowering time, which yields the same plan shape — wide
+// independent slices that the engine's dataflow scheduler runs on
+// multiple cores (experiments F2 and E7). Degenerate fragments this
+// lowering can leave behind (packs of one slice, packs that reassemble
+// an unmodified scan, builds probed exactly once) are folded away by
+// the optimizer's matfold pass.
 package compiler
 
 import (
@@ -231,11 +235,12 @@ func (c *compiler) bindScan(s *algebra.Scan) rel {
 }
 
 // lowerScan binds the table columns and, with partitioning enabled,
-// marks them sliceable: the first downstream row-wise operator
-// materializes the mitosis slices and runs once per slice until
+// marks them sliceable: the first downstream operator that works
+// partition-wise (filters, projections, aggregates, join probes,
+// sorts) materializes the mitosis slices and runs once per slice until
 // something forces a pack, while consumers that need the whole
-// relation (joins, sorts, the result epilogue) take the bound columns
-// directly with no mitosis overhead at all.
+// relation (a join's build side, plain limits, the result epilogue)
+// take the bound columns directly with no mitosis overhead at all.
 func (c *compiler) lowerScan(s *algebra.Scan) rel {
 	base := c.bindScan(s)
 	if c.opt.Partitions <= 1 {
@@ -563,8 +568,18 @@ func foldConst(op string, l, r operand, k storage.Kind) (operand, error) {
 	return operand{}, fmt.Errorf("compiler: cannot fold %q", op)
 }
 
-// lowerJoin packs both inputs first: the hash join needs whole
-// relations (join mitosis is out of scope).
+// lowerJoin compiles the equi-join. The build side (right input, the
+// hashed one) is always packed — one hash table per join. When the
+// probe side (left input) is in the mitosis form, the join itself
+// partitions: algebra.hashbuild indexes the build key once, and each
+// probe slice runs an independent algebra.hashprobe + projections, so
+// the probe phase — where TPC-H-shaped plans spend their join time —
+// fans out across the dataflow workers. The per-slice outputs
+// concatenated in slice order equal the packed join's probe-order
+// output exactly, so the result stays in the partitioned form and
+// downstream operators (filters, aggregates, further joins) keep
+// consuming it slice-wise. A packed probe side falls back to the
+// one-shot algebra.join kernel.
 func (c *compiler) lowerJoin(j *algebra.Join) (rel, error) {
 	l, err := c.lower(j.L)
 	if err != nil {
@@ -574,7 +589,11 @@ func (c *compiler) lowerJoin(j *algebra.Join) (rel, error) {
 	if err != nil {
 		return rel{}, err
 	}
-	l, r = c.packed(l), c.packed(r)
+	r = c.packed(r)
+	if l.partitioned() {
+		return c.lowerPartitionedJoin(j, c.forcePartitioned(l), r), nil
+	}
+	l = c.packed(l)
 	lo := c.plan.NewVar(mal.TBATOID)
 	ro := c.plan.NewVar(mal.TBATOID)
 	c.plan.Emit("algebra", "join", []int{lo, ro},
@@ -591,6 +610,31 @@ func (c *compiler) lowerJoin(j *algebra.Join) (rel, error) {
 		out.cols = append(out.cols, p)
 	}
 	return out, nil
+}
+
+// lowerPartitionedJoin emits the build-once/probe-per-slice form: l is
+// partitioned (the probe side), r packed (the build side). Probe-slice
+// oids are slice-local, so left columns project from the slice's own
+// columns while build-side oids project from the packed build columns.
+func (c *compiler) lowerPartitionedJoin(j *algebra.Join, l, r rel) rel {
+	h := c.plan.Emit1("algebra", "hashbuild", mal.THash, mal.VarArg(r.cols[j.RKey]))
+	out := rel{schema: j.Schema(), parts: make([][]int, len(l.parts))}
+	for p := range l.parts {
+		lp := l.part(p)
+		lo := c.plan.NewVar(mal.TBATOID)
+		ro := c.plan.NewVar(mal.TBATOID)
+		c.plan.Emit("algebra", "hashprobe", []int{lo, ro},
+			mal.VarArg(lp.cols[j.LKey]), mal.VarArg(h))
+		for i, v := range lp.cols {
+			out.parts[p] = append(out.parts[p], c.plan.Emit1("algebra", "leftjoin",
+				kindToBAT(l.schema[i].Kind), mal.VarArg(lo), mal.VarArg(v)))
+		}
+		for i, v := range r.cols {
+			out.parts[p] = append(out.parts[p], c.plan.Emit1("algebra", "leftjoin",
+				kindToBAT(r.schema[i].Kind), mal.VarArg(ro), mal.VarArg(v)))
+		}
+	}
+	return out
 }
 
 var aggrFunc = map[storage.AggrKind]string{
@@ -921,25 +965,97 @@ func (c *compiler) lowerDistinct(d *algebra.Distinct) (rel, error) {
 }
 
 func (c *compiler) lowerSort(s *algebra.Sort) (rel, error) {
+	return c.lowerSortTopK(s, 0)
+}
+
+// lowerSortTopK compiles a sort. topK > 0 is the ORDER BY ... LIMIT
+// fusion hint from lowerLimit: the partitioned path then truncates
+// every sorted slice to its first topK rows before the merge (no slice
+// can contribute more than topK rows to the global first topK), so the
+// merge, the packs and the permutation projections all run over at most
+// partitions*topK rows instead of the full relation. The caller still
+// applies the final global limit; topK changes cost, never results.
+func (c *compiler) lowerSortTopK(s *algebra.Sort, topK int64) (rel, error) {
 	in, err := c.lower(s.Input)
 	if err != nil {
 		return rel{}, err
 	}
-	in = c.packed(in)
-	// Stable multi-key sort: apply keys from least to most significant;
-	// each pass permutes every column through the sort order.
+	if in.partitioned() {
+		in = c.forcePartitioned(in)
+		if len(in.parts) > 1 {
+			return c.lowerMergedSort(s, in, topK), nil
+		}
+	}
+	return c.sortPacked(c.packed(in), s.Keys), nil
+}
+
+// sortPacked is the sequential sort: stable multi-key, applying keys
+// from least to most significant; each pass permutes every column
+// through the sort order.
+func (c *compiler) sortPacked(in rel, keys []algebra.SortKey) rel {
 	cur := in
-	for i := len(s.Keys) - 1; i >= 0; i-- {
-		k := s.Keys[i]
+	for i := len(keys) - 1; i >= 0; i-- {
+		k := keys[i]
 		perm := c.plan.Emit1("algebra", "sortTail", mal.TBATOID,
 			mal.VarArg(cur.cols[k.Idx]), mal.ConstOf(mal.Bool(!k.Desc)))
 		cur = c.projectAll(cur, perm)
 	}
-	return cur, nil
+	return cur
+}
+
+// lowerMergedSort is sort mitosis: every slice is stable-sorted
+// independently (the parallel phase, where the n·log n work is), then
+// one mat.kmerge computes the stable merge permutation over the
+// per-slice sorted key columns and every column is packed and permuted
+// through it. Per-slice stable sorts plus a stable merge reproduce the
+// global stable sort's permutation exactly, so partitioned sorts are
+// byte-identical to the sequential lowering. The output is packed: a
+// sorted relation has no meaningful slice decomposition left.
+func (c *compiler) lowerMergedSort(s *algebra.Sort, in rel, topK int64) rel {
+	k := len(in.parts)
+	sorted := make([]rel, k)
+	for p := 0; p < k; p++ {
+		cur := c.sortPacked(in.part(p), s.Keys)
+		if topK > 0 {
+			trunc := rel{schema: cur.schema}
+			for i, v := range cur.cols {
+				trunc.cols = append(trunc.cols, c.plan.Emit1("algebra", "slice",
+					kindToBAT(cur.schema[i].Kind),
+					mal.VarArg(v), mal.ConstOf(mal.Int64(0)), mal.ConstOf(mal.Int64(topK))))
+			}
+			cur = trunc
+		}
+		sorted[p] = cur
+	}
+	// Merge permutation: nkeys, per-key ascending flags, then per key
+	// the sorted slice columns in slice order.
+	args := []mal.Arg{mal.ConstOf(mal.Int64(int64(len(s.Keys))))}
+	for _, key := range s.Keys {
+		args = append(args, mal.ConstOf(mal.Bool(!key.Desc)))
+	}
+	for _, key := range s.Keys {
+		for p := 0; p < k; p++ {
+			args = append(args, mal.VarArg(sorted[p].cols[key.Idx]))
+		}
+	}
+	perm := c.plan.Emit1("mat", "kmerge", mal.TBATOID, args...)
+	packedParts := rel{schema: in.schema, parts: make([][]int, k)}
+	for p := 0; p < k; p++ {
+		packedParts.parts[p] = sorted[p].cols
+	}
+	return c.projectAll(c.packed(packedParts), perm)
 }
 
 func (c *compiler) lowerLimit(l *algebra.Limit) (rel, error) {
-	in, err := c.lower(l.Input)
+	var in rel
+	var err error
+	if s, ok := l.Input.(*algebra.Sort); ok {
+		// ORDER BY ... LIMIT: hand the limit to the sort lowering so the
+		// partitioned path truncates per slice before the merge.
+		in, err = c.lowerSortTopK(s, l.N)
+	} else {
+		in, err = c.lower(l.Input)
+	}
 	if err != nil {
 		return rel{}, err
 	}

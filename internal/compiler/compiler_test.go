@@ -371,3 +371,124 @@ func TestInLowering(t *testing.T) {
 		t.Errorf("batcalc.or = %d, want 2", n)
 	}
 }
+
+// TestPartitionedJoinPlanShape: a join whose probe side sits above a
+// sliced scan compiles to build-once/probe-per-slice — exactly one
+// algebra.hashbuild, one algebra.hashprobe per slice, and no packed
+// algebra.join.
+func TestPartitionedJoinPlanShape(t *testing.T) {
+	q := "select l_tax, o_totalprice from lineitem, orders where l_orderkey = o_orderkey"
+	plan := compileQuery(t, q, Options{Partitions: 8})
+	if n := countInstrs(plan, "algebra.hashbuild"); n != 1 {
+		t.Errorf("hashbuild count = %d, want 1 (build once)", n)
+	}
+	if n := countInstrs(plan, "algebra.hashprobe"); n != 8 {
+		t.Errorf("hashprobe count = %d, want 8 (one per probe slice)", n)
+	}
+	if n := countInstrs(plan, "algebra.join"); n != 0 {
+		t.Errorf("packed algebra.join count = %d, want 0", n)
+	}
+	// Probe-side scan sliced, build side bound whole.
+	if n := countInstrs(plan, "mat.slice"); n != 16 { // 2 probe columns x 8
+		t.Errorf("mat.slice count = %d, want 16", n)
+	}
+	// Sequential fallback keeps the packed kernel.
+	seq := compileQuery(t, q, Options{Partitions: 1})
+	if n := countInstrs(seq, "algebra.join"); n != 1 {
+		t.Errorf("sequential join count = %d, want 1", n)
+	}
+	if n := countInstrs(seq, "algebra.hashbuild") + countInstrs(seq, "algebra.hashprobe"); n != 0 {
+		t.Errorf("sequential plan has %d hash instructions, want 0", n)
+	}
+}
+
+// TestPartitionedJoinOutputStaysPartitioned: aggregation above a
+// partitioned join consumes the per-slice join outputs without an
+// intervening pack-per-column of the join result (the only packs are
+// the mergetable partial-aggregate recombinations).
+func TestPartitionedJoinOutputStaysPartitioned(t *testing.T) {
+	q := "select o_orderpriority, count(*) as n from lineitem, orders where l_orderkey = o_orderkey group by o_orderpriority"
+	plan := compileQuery(t, q, Options{Partitions: 4})
+	if n := countInstrs(plan, "algebra.hashprobe"); n != 4 {
+		t.Fatalf("hashprobe count = %d, want 4", n)
+	}
+	// Per-slice grouping on the join output: one subgroup per slice plus
+	// one merge regrouping.
+	if n := countInstrs(plan, "group.subgroup"); n != 5 {
+		t.Errorf("subgroup count = %d, want 5 (4 slices + merge)", n)
+	}
+}
+
+// TestMergedSortPlanShape: a sort above a sliced scan compiles to one
+// stable sort per slice plus a single mat.kmerge recombination.
+func TestMergedSortPlanShape(t *testing.T) {
+	q := "select l_orderkey, l_extendedprice from lineitem order by l_extendedprice"
+	plan := compileQuery(t, q, Options{Partitions: 8})
+	if n := countInstrs(plan, "algebra.sortTail"); n != 8 {
+		t.Errorf("sortTail count = %d, want 8 (one per slice)", n)
+	}
+	if n := countInstrs(plan, "mat.kmerge"); n != 1 {
+		t.Errorf("kmerge count = %d, want 1", n)
+	}
+	// kmerge carries nkeys + asc + 8 key columns.
+	for _, in := range plan.Instrs {
+		if in.Name() == "mat.kmerge" && len(in.Args) != 1+1+8 {
+			t.Errorf("kmerge has %d args, want 10", len(in.Args))
+		}
+	}
+	seq := compileQuery(t, q, Options{Partitions: 1})
+	if n := countInstrs(seq, "mat.kmerge"); n != 0 {
+		t.Errorf("sequential sort emitted %d kmerge instructions", n)
+	}
+	if n := countInstrs(seq, "algebra.sortTail"); n != 1 {
+		t.Errorf("sequential sortTail count = %d, want 1", n)
+	}
+}
+
+// TestMergedSortMultiKeyPlanShape: every key sorts per slice (least to
+// most significant) and the merge receives one column group per key.
+func TestMergedSortMultiKeyPlanShape(t *testing.T) {
+	q := "select l_orderkey, l_extendedprice from lineitem order by l_extendedprice desc, l_orderkey"
+	plan := compileQuery(t, q, Options{Partitions: 4})
+	if n := countInstrs(plan, "algebra.sortTail"); n != 8 {
+		t.Errorf("sortTail count = %d, want 8 (2 keys x 4 slices)", n)
+	}
+	for _, in := range plan.Instrs {
+		if in.Name() == "mat.kmerge" {
+			if len(in.Args) != 1+2+2*4 {
+				t.Errorf("kmerge has %d args, want 11 (nkeys + 2 asc + 2x4 cols)", len(in.Args))
+			}
+			if !in.Args[1].IsConst() || in.Args[1].Const.Bool { // first key desc
+				t.Errorf("kmerge first asc flag = %v, want false", in.Args[1])
+			}
+			if !in.Args[2].IsConst() || !in.Args[2].Const.Bool { // second key asc
+				t.Errorf("kmerge second asc flag = %v, want true", in.Args[2])
+			}
+		}
+	}
+}
+
+// TestTopKFusionPlanShape: ORDER BY ... LIMIT truncates every sorted
+// slice before the merge — one algebra.slice per column per slice plus
+// the final global limit slices.
+func TestTopKFusionPlanShape(t *testing.T) {
+	q := "select l_orderkey, l_extendedprice from lineitem order by l_extendedprice desc limit 10"
+	plan := compileQuery(t, q, Options{Partitions: 8})
+	// 8 slices x 2 columns truncated + 2 final limit slices.
+	if n := countInstrs(plan, "algebra.slice"); n != 18 {
+		t.Errorf("algebra.slice count = %d, want 18 (per-slice top-k + global limit)", n)
+	}
+	if n := countInstrs(plan, "mat.kmerge"); n != 1 {
+		t.Errorf("kmerge count = %d, want 1", n)
+	}
+	// Without the limit there is no per-slice truncation.
+	noLimit := compileQuery(t, "select l_orderkey, l_extendedprice from lineitem order by l_extendedprice desc", Options{Partitions: 8})
+	if n := countInstrs(noLimit, "algebra.slice"); n != 0 {
+		t.Errorf("plain sort emitted %d algebra.slice instructions, want 0", n)
+	}
+	// A limit over a non-sort input is untouched by the fusion.
+	plain := compileQuery(t, "select l_orderkey from lineitem limit 10", Options{Partitions: 8})
+	if n := countInstrs(plain, "algebra.slice"); n != 1 {
+		t.Errorf("plain limit slice count = %d, want 1", n)
+	}
+}

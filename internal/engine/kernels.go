@@ -25,6 +25,7 @@ func registerKernels(e *Engine) {
 
 	e.Register("mat", "slice", kMatSlice)
 	e.Register("mat", "pack", kMatPack)
+	e.Register("mat", "kmerge", kKMerge)
 	e.Register("bat", "mirror", kMirror)
 
 	e.Register("algebra", "thetaselect", kThetaSelect)
@@ -32,6 +33,8 @@ func registerKernels(e *Engine) {
 	e.Register("algebra", "selectTrue", kSelectTrue)
 	e.Register("algebra", "leftjoin", kLeftJoin)
 	e.Register("algebra", "join", kJoin)
+	e.Register("algebra", "hashbuild", kHashBuild)
+	e.Register("algebra", "hashprobe", kHashProbe)
 	e.Register("algebra", "sortTail", kSortTail)
 	e.Register("algebra", "slice", kSlice)
 
@@ -331,6 +334,89 @@ func kJoin(ctx *Context, in *mal.Instr) error {
 	}
 	ctx.setBAT(in, 0, lo)
 	ctx.setBAT(in, 1, ro)
+	return nil
+}
+
+// kHashBuild materializes the build side of a partitioned hash join:
+// algebra.hashbuild(keycol) indexes the column once; every probe slice
+// shares the handle (storage.JoinHash probes are read-only, so the
+// dataflow scheduler may run them concurrently).
+func kHashBuild(ctx *Context, in *mal.Instr) error {
+	b, err := ctx.bat(in, 0)
+	if err != nil {
+		return err
+	}
+	ctx.setVal(in, 0, mal.Value{Type: mal.THash, Col: storage.BuildJoinHash(b)})
+	return nil
+}
+
+// kHashProbe implements algebra.hashprobe(probecol, hash): one mitosis
+// slice of the probe side joined against the shared build handle,
+// returning aligned probe/build oid pairs.
+func kHashProbe(ctx *Context, in *mal.Instr) error {
+	if len(in.Args) < 2 {
+		return fmt.Errorf("hashprobe needs a hash argument")
+	}
+	if len(in.Rets) != 2 {
+		return fmt.Errorf("hashprobe needs two results, has %d", len(in.Rets))
+	}
+	probe, err := ctx.bat(in, 0)
+	if err != nil {
+		return err
+	}
+	h, ok := ctx.value(in.Args[1]).Col.(*storage.JoinHash)
+	if !ok {
+		return fmt.Errorf("hashprobe argument 1 is not a join hash")
+	}
+	lo, ro, err := h.Probe(probe)
+	if err != nil {
+		return err
+	}
+	ctx.setBAT(in, 0, lo)
+	ctx.setBAT(in, 1, ro)
+	return nil
+}
+
+// kKMerge implements mat.kmerge, the sort-mitosis recombination: a
+// stable k-way merge permutation over per-slice sorted runs. Argument
+// layout: nkeys:int, then nkeys ascending:bit flags, then nkeys groups
+// of k key columns (group j holds sort key j of every slice, slice
+// order). The result indexes the mat.pack concatenation of the slices.
+func kKMerge(ctx *Context, in *mal.Instr) error {
+	nkeys64, err := ctx.intArg(in, 0)
+	if err != nil {
+		return err
+	}
+	nkeys := int(nkeys64)
+	if nkeys < 1 {
+		return fmt.Errorf("kmerge with %d keys", nkeys)
+	}
+	rest := len(in.Args) - 1 - nkeys
+	if rest < nkeys || rest%nkeys != 0 {
+		return fmt.Errorf("kmerge argument count %d does not fit %d keys", len(in.Args), nkeys)
+	}
+	k := rest / nkeys
+	asc := make([]bool, nkeys)
+	for j := 0; j < nkeys; j++ {
+		if asc[j], err = ctx.boolArg(in, 1+j); err != nil {
+			return err
+		}
+	}
+	keys := make([][]*storage.BAT, nkeys)
+	base := 1 + nkeys
+	for j := 0; j < nkeys; j++ {
+		keys[j] = make([]*storage.BAT, k)
+		for s := 0; s < k; s++ {
+			if keys[j][s], err = ctx.bat(in, base+j*k+s); err != nil {
+				return err
+			}
+		}
+	}
+	perm, err := storage.MergeRuns(keys, asc)
+	if err != nil {
+		return err
+	}
+	ctx.setBAT(in, 0, perm)
 	return nil
 }
 

@@ -28,6 +28,14 @@ var edgeCat = func() *storage.Catalog {
 			"k": storage.FromInts(storage.Int, nil),
 			"v": storage.FromFloats(nil),
 		})
+	// dim joins against tiny.k with duplicate keys on both sides and one
+	// key (4) that never matches.
+	cat.Define("sys", "dim",
+		[]storage.Column{{Name: "k", Kind: storage.Int}, {Name: "name", Kind: storage.Str}},
+		map[string]*storage.BAT{
+			"k":    storage.FromInts(storage.Int, []int64{1, 2, 4, 1}),
+			"name": storage.FromStrings([]string{"one", "two", "four", "uno"}),
+		})
 	return cat
 }()
 

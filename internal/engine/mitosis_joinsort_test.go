@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Join/sort mitosis sweeps: the build-once/probe-per-slice partitioned
+// hash join and the per-slice-sort + mat.kmerge recombination must
+// reproduce the sequential kernels exactly — joins and sorts never
+// re-associate float math, so every comparison here is byte-identical
+// (assertSameResult's float path tolerates nothing at tolerance scale
+// for untouched values, and sameCell covers the rest).
+
+// joinSortEdgeQueries covers the awkward shapes over the edge catalog:
+// duplicate keys on both sides, an empty build side, an empty probe
+// side, probe rows far below the partition count, join output consumed
+// partition-wise (filters, aggregates, cascaded joins), multi-key and
+// descending sorts, and ORDER BY ... LIMIT with the limit both below
+// and above the slice count and row count.
+var joinSortEdgeQueries = []string{
+	// Joins: tiny (5 rows) probes, dim (4 rows, dup keys) builds.
+	"select tiny.v, dim.name from tiny, dim where tiny.k = dim.k",
+	"select tiny.v, dim.name from tiny, dim where tiny.k = dim.k and tiny.v > 2",
+	"select tiny.v from tiny, nothing where tiny.k = nothing.k",            // empty build side
+	"select nothing.v, dim.name from nothing, dim where nothing.k = dim.k", // empty probe side
+	"select dim.name, count(*) as n, min(tiny.v) as mn from tiny, dim where tiny.k = dim.k group by dim.name",
+	"select tiny.v, dim.name, d2.name from tiny, dim, dim d2 where tiny.k = dim.k and tiny.k = d2.k",
+	// Sorts: 5-row and 0-row inputs at up to 64 slices.
+	"select v from tiny order by v",
+	"select v from tiny order by v desc",
+	"select tag, v from tiny order by tag desc, v",
+	"select k, tag from tiny order by k, tag desc",
+	"select v from tiny where k <> 3 order by v desc",
+	"select v * 2 + 1 from tiny order by v * 2 + 1",
+	"select k from nothing order by k",
+	// ORDER BY ... LIMIT: limit below/above rows and slice count.
+	"select v from tiny order by v limit 2",
+	"select v from tiny order by v desc limit 99",
+	"select tag, v from tiny order by tag, v desc limit 3",
+	"select k from nothing order by k limit 3",
+	// Join + sort + limit combined.
+	"select tiny.v, dim.name from tiny, dim where tiny.k = dim.k order by tiny.v desc, dim.name limit 3",
+}
+
+// TestJoinSortMitosisMorePartitionsThanRows slices the 5-row and 0-row
+// tables into far more partitions than rows; every join/sort shape must
+// agree with the sequential plan exactly.
+func TestJoinSortMitosisMorePartitionsThanRows(t *testing.T) {
+	for _, q := range joinSortEdgeQueries {
+		base := runEdge(t, q, 1, 1)
+		for _, parts := range []int{2, 5, 7, 16, 64} {
+			got := runEdge(t, q, parts, 1)
+			assertSameResult(t, fmt.Sprintf("%q parts=%d", q, parts), base, got)
+		}
+	}
+}
+
+// TestJoinSortMitosisParallelEqualitySweep runs the join/sort shapes
+// across worker counts 1/4/8: sequential and dataflow execution of the
+// same partitioned plan must agree cell for cell. Under -race (the
+// Makefile race target) this doubles as the correctness sweep for
+// concurrent probes against one shared JoinHash and concurrent
+// per-slice sorts feeding one merge.
+func TestJoinSortMitosisParallelEqualitySweep(t *testing.T) {
+	for _, q := range joinSortEdgeQueries {
+		base := runEdge(t, q, 1, 1)
+		for _, parts := range []int{4, 16} {
+			for _, workers := range []int{1, 4, 8} {
+				got := runEdge(t, q, parts, workers)
+				assertSameResult(t, fmt.Sprintf("%q parts=%d workers=%d", q, parts, workers), base, got)
+			}
+		}
+	}
+}
+
+// TestJoinSortMitosisTPCHShapes sweeps realistic join/sort pipelines
+// over the TPC-H test catalog: probe-side mitosis under a packed build
+// (lineitem ⋈ orders), aggregation over partitioned join output, and
+// top-k orderings.
+func TestJoinSortMitosisTPCHShapes(t *testing.T) {
+	queries := []string{
+		"select count(*) as n from lineitem, orders where l_orderkey = o_orderkey",
+		"select o_orderpriority, count(*) as n from lineitem, orders where l_orderkey = o_orderkey group by o_orderpriority order by o_orderpriority",
+		"select l_orderkey, l_extendedprice from lineitem order by l_extendedprice desc, l_orderkey limit 10",
+		"select l_returnflag, l_quantity from lineitem where l_quantity > 30 order by l_quantity desc, l_returnflag limit 25",
+		"select l_orderkey, o_totalprice from lineitem, orders where l_orderkey = o_orderkey order by o_totalprice desc, l_orderkey limit 20",
+	}
+	for _, q := range queries {
+		base := runQ(t, q, Options{Workers: 1}, 1)
+		for _, parts := range []int{4, 8} {
+			for _, workers := range []int{1, 4, 8} {
+				got := runQ(t, q, Options{Workers: workers}, parts)
+				assertSameResult(t, fmt.Sprintf("%q parts=%d workers=%d", q, parts, workers), base, got)
+			}
+		}
+	}
+}
+
+// TestJoinSortMitosisByteIdentical pins the exactness claim directly:
+// partitioned joins and sorts are bit-for-bit identical to sequential
+// execution — floats included, since neither kernel re-associates
+// arithmetic — at every partition/worker combination.
+func TestJoinSortMitosisByteIdentical(t *testing.T) {
+	queries := []string{
+		"select l_orderkey, l_extendedprice from lineitem order by l_extendedprice desc, l_orderkey limit 10",
+		"select l_orderkey, o_totalprice from lineitem, orders where l_orderkey = o_orderkey order by o_totalprice desc, l_orderkey limit 20",
+		"select l_extendedprice from lineitem order by l_extendedprice",
+	}
+	for _, q := range queries {
+		base := runQ(t, q, Options{Workers: 1}, 1)
+		for _, parts := range []int{4, 16} {
+			for _, workers := range []int{1, 4, 8} {
+				got := runQ(t, q, Options{Workers: workers}, parts)
+				label := fmt.Sprintf("%q parts=%d workers=%d", q, parts, workers)
+				if got.Rows() != base.Rows() || len(got.Cols) != len(base.Cols) {
+					t.Fatalf("%s: shape differs", label)
+				}
+				for c := range base.Cols {
+					for i := 0; i < base.Rows(); i++ {
+						if !sameCell(base.Cols[c], got.Cols[c], i) {
+							t.Fatalf("%s: col %d row %d not byte-identical", label, c, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeRunsKernelTies pins merge stability end to end through the
+// engine: sorting a column with heavy duplicates must preserve the
+// original order of equal keys (what a stable sequential sort does)
+// regardless of partitioning.
+func TestMergeRunsKernelTies(t *testing.T) {
+	q := "select tag, v from tiny order by tag"
+	base := runEdge(t, q, 1, 1)
+	for _, parts := range []int{2, 3, 5} {
+		got := runEdge(t, q, parts, 4)
+		for c := range base.Cols {
+			for i := 0; i < base.Rows(); i++ {
+				if !sameCell(base.Cols[c], got.Cols[c], i) {
+					t.Fatalf("parts=%d: tie order differs at col %d row %d", parts, c, i)
+				}
+			}
+		}
+	}
+}
+
+// sanity guard for the edge catalog shape the queries above rely on.
+func TestEdgeCatalogJoinShape(t *testing.T) {
+	dim, ok := edgeCat.Table("sys", "dim")
+	if !ok || dim.Rows() != 4 {
+		t.Fatalf("dim table missing or resized")
+	}
+}

@@ -33,6 +33,8 @@ const (
 	TBATBool // BAT with bool tail
 	TBATDate // BAT with date tail
 	TBATOID  // BAT with oid tail (candidate/selection vectors)
+
+	THash // opaque join-hash handle (partitioned join build side)
 )
 
 var typeNames = map[Type]string{
@@ -49,6 +51,7 @@ var typeNames = map[Type]string{
 	TBATBool: "bat[:bit]",
 	TBATDate: "bat[:date]",
 	TBATOID:  "bat[:oid]",
+	THash:    "hash",
 }
 
 // String returns the MAL notation for the type, e.g. "bat[:int]".

@@ -198,9 +198,16 @@ func (CSE) Run(p *mal.Plan) (int, error) {
 // piece is the piece, mat.slice(v, 0, 1) is v, and a mat.pack that
 // reassembles every slice of one source in order is the source itself
 // (the compiler's partitioned lowering emits that shape for scans no
-// operator ever consumed partition-wise). Uses are rewritten to the
-// surviving variable; the dead slice/pack instructions are left for
-// DeadCode.
+// operator ever consumed partition-wise). Two join/sort-mitosis cases
+// fold degenerate single-slice plans back to the packed kernels: an
+// algebra.hashbuild probed by exactly one algebra.hashprobe rewrites
+// that probe to the one-shot algebra.join (the build handle dies), and
+// a mat.kmerge over a single run is the identity permutation, so
+// algebra.leftjoin projections through it collapse to their column
+// argument (the compiler only projects a kmerge permutation over the
+// pack of the very runs it merges, so the lengths agree by
+// construction). Uses are rewritten to the surviving variable; the dead
+// instructions are left for DeadCode.
 type MatFold struct{}
 
 // Name implements Pass.
@@ -235,12 +242,33 @@ func (MatFold) Run(p *mal.Plan) (int, error) {
 	// def maps a variable to its defining instruction, built as we walk
 	// (single assignment: definitions precede uses).
 	def := map[int]*mal.Instr{}
+	// identityPerm marks kmerge results known to be the identity
+	// permutation (single-run merges); projections through them fold.
+	identityPerm := map[int]bool{}
 	for _, in := range p.Instrs {
 		for ai, a := range in.Args {
 			if !a.IsConst() {
 				if r := resolve(a.Var); r != a.Var {
 					in.Args[ai] = mal.VarArg(r)
 				}
+			}
+		}
+		switch in.Name() {
+		case "mat.kmerge":
+			// kmerge(nkeys, asc..., one column per key) over a single
+			// run: nothing to merge, the permutation is the identity.
+			// Only the projections folded through it count as removals;
+			// the kmerge itself dies via DeadCode once they do.
+			if nk, ok := constInt(in, 0); ok && len(in.Rets) == 1 &&
+				nk >= 1 && int64(len(in.Args)) == 1+2*nk {
+				identityPerm[in.Rets[0]] = true
+			}
+		case "algebra.leftjoin":
+			if len(in.Rets) == 1 && len(in.Args) == 2 &&
+				!in.Args[0].IsConst() && !in.Args[1].IsConst() &&
+				identityPerm[in.Args[0].Var] {
+				replacement[in.Rets[0]] = in.Args[1].Var
+				folded++
 			}
 		}
 		switch in.Name() {
@@ -296,6 +324,38 @@ func (MatFold) Run(p *mal.Plan) (int, error) {
 		for _, r := range in.Rets {
 			def[r] = in
 		}
+	}
+
+	// Degenerate-join pass: an algebra.hashbuild consumed by exactly one
+	// algebra.hashprobe is a plain hash join split in two for no benefit
+	// (a single-slice probe side). Rewrite the probe to the one-shot
+	// algebra.join over the probe and build-key columns; the unused
+	// build handle is left for DeadCode.
+	useCount := map[int]int{}
+	probes := map[int][]*mal.Instr{} // hash var -> consuming hashprobes
+	for _, in := range p.Instrs {
+		for _, a := range in.Args {
+			if a.IsConst() {
+				continue
+			}
+			useCount[a.Var]++
+			if in.Name() == "algebra.hashprobe" && len(in.Args) == 2 && a.Var == in.Args[1].Var {
+				probes[a.Var] = append(probes[a.Var], in)
+			}
+		}
+	}
+	for _, in := range p.Instrs {
+		if in.Name() != "algebra.hashbuild" || len(in.Rets) != 1 || len(in.Args) != 1 || in.Args[0].IsConst() {
+			continue
+		}
+		h := in.Rets[0]
+		if useCount[h] != 1 || len(probes[h]) != 1 {
+			continue
+		}
+		probe := probes[h][0]
+		probe.Function = "join"
+		probe.Args = []mal.Arg{probe.Args[0], mal.VarArg(in.Args[0].Var)}
+		folded++
 	}
 	return folded, nil
 }

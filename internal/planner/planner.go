@@ -60,14 +60,19 @@ func (c Compiled) ResolveExec(requestedWorkers int) (workers int, autoTuned bool
 }
 
 // ResolvePartitions turns an Auto partition request into a concrete
-// fan-out for the bound tree (from the largest scanned table's row
-// count and the core budget); explicit counts pass through with an
-// empty reason.
+// fan-out for the bound tree; explicit counts pass through with an
+// empty reason. The fan-out is sized from the rows that actually
+// parallelize under the tree's cost shape (algebra.DriverRows): the
+// probe-side rows for join plans — the packed build side must not
+// inflate the fan-out — and the sorted input's rows for sort plans. The
+// shape is recorded in the tuning note so Result.Stats.TuneReason and
+// the history RunMeta show which cost model sized the plan.
 func ResolvePartitions(cat *storage.Catalog, requested int, tree algebra.Node) (int, string) {
 	if requested != adaptive.Auto {
 		return requested, ""
 	}
-	return adaptive.Partitions(algebra.MaxScanRows(tree, cat), adaptive.Procs())
+	rows, shape := algebra.DriverRows(tree, cat)
+	return adaptive.PartitionsFor(rows, adaptive.Procs(), shape)
 }
 
 // Compile lowers SQL to an optimized MAL plan, consulting the cache

@@ -290,28 +290,53 @@ func (b *BAT) keyAt(i int) joinKey {
 	}
 }
 
-// HashJoin computes the equi-join of l and r on value equality and returns
-// matching oid pairs (aligned left and right oid BATs). The smaller side
-// is hashed. This is MAL's algebra.join.
-func HashJoin(l, r *BAT) (lOIDs, rOIDs *BAT, err error) {
-	if l.kind != r.kind && !(l.kind.usesInts() && r.kind.usesInts()) {
-		return nil, nil, fmt.Errorf("storage: join %s with %s", l.kind, r.kind)
-	}
-	lo, ro := New(OID, 0), New(OID, 0)
-	// Hash the right side; probe with the left to keep output ordered by
-	// left oid, which downstream projections rely on for stable results.
+// JoinHash is the materialized build side of a hash join: the value
+// index of one key column. Build once with BuildJoinHash, then Probe
+// any number of times — probes are read-only, so one JoinHash may be
+// probed concurrently from multiple goroutines (the partitioned join
+// probes every mitosis slice against the same build in parallel).
+type JoinHash struct {
+	idx  map[joinKey][]int64
+	kind Kind
+}
+
+// BuildJoinHash indexes the build-side key column r (MAL's
+// algebra.hashbuild). Per-key oid lists keep build order, so probe
+// output for equal keys matches the nested-order the packed join emits.
+func BuildJoinHash(r *BAT) *JoinHash {
 	idx := make(map[joinKey][]int64, r.Len())
 	for i, n := 0, r.Len(); i < n; i++ {
 		k := r.keyAt(i)
 		idx[k] = append(idx[k], int64(i))
 	}
+	return &JoinHash{idx: idx, kind: r.kind}
+}
+
+// Probe matches the probe-side key column l against the build index and
+// returns matching oid pairs (aligned probe/build oid BATs), ordered by
+// probe oid — the order downstream projections rely on for stable
+// results. Safe for concurrent use.
+func (h *JoinHash) Probe(l *BAT) (lOIDs, rOIDs *BAT, err error) {
+	if l.kind != h.kind && !(l.kind.usesInts() && h.kind.usesInts()) {
+		return nil, nil, fmt.Errorf("storage: join %s with %s", l.kind, h.kind)
+	}
+	lo, ro := New(OID, 0), New(OID, 0)
 	for i, n := 0, l.Len(); i < n; i++ {
-		for _, ri := range idx[l.keyAt(i)] {
+		for _, ri := range h.idx[l.keyAt(i)] {
 			lo.AppendInt(int64(i))
 			ro.AppendInt(ri)
 		}
 	}
 	return lo, ro, nil
+}
+
+// HashJoin computes the equi-join of l and r on value equality and returns
+// matching oid pairs (aligned left and right oid BATs). The right side
+// is hashed; the left side probes, keeping the output ordered by left
+// oid. This is MAL's algebra.join — the packed form of
+// BuildJoinHash + Probe.
+func HashJoin(l, r *BAT) (lOIDs, rOIDs *BAT, err error) {
+	return BuildJoinHash(r).Probe(l)
 }
 
 // Group assigns a dense group id to each row of b, optionally refining an

@@ -1,0 +1,68 @@
+package stethoscope_test
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stethoscope"
+)
+
+// TestTPCHNightlyLargeScale is the nightly workflow's large-data leg:
+// the PR gate runs TPC-H at SF 0.05, the scheduled job sets
+// STETHO_TPCH_SF (0.2 in .github/workflows/nightly.yml) and re-runs the
+// exact-shape scan/join/sort pipelines there, comparing sequential and
+// auto-tuned execution byte for byte. Unset, the test skips, so it
+// costs PR CI nothing.
+func TestTPCHNightlyLargeScale(t *testing.T) {
+	sfEnv := os.Getenv("STETHO_TPCH_SF")
+	if sfEnv == "" {
+		t.Skip("set STETHO_TPCH_SF (e.g. 0.2) to run the large-scale TPC-H sweep")
+	}
+	sf, err := strconv.ParseFloat(sfEnv, 64)
+	if err != nil || sf <= 0 {
+		t.Fatalf("bad STETHO_TPCH_SF %q: %v", sfEnv, err)
+	}
+	db, err := stethoscope.Open(
+		stethoscope.WithScaleFactor(sf), stethoscope.WithSeed(42),
+		stethoscope.WithPartitions(stethoscope.Auto),
+		stethoscope.WithWorkers(stethoscope.Auto))
+	if err != nil {
+		t.Fatalf("Open(SF=%g): %v", sf, err)
+	}
+	queries := []string{
+		scalingQuery,
+		scalingJoinQuery,
+		scalingSortQuery,
+		"select count(*) as n from lineitem, orders where l_orderkey = o_orderkey",
+		"select distinct l_shipmode from lineitem order by l_shipmode",
+		"select l_orderkey, l_extendedprice from lineitem order by l_extendedprice desc, l_orderkey limit 1000",
+	}
+	ctx := context.Background()
+	for _, q := range queries {
+		seq, err := db.Exec(ctx, q, stethoscope.ExecPartitions(1), stethoscope.ExecWorkers(1))
+		if err != nil {
+			t.Fatalf("Exec(seq, %q): %v", q, err)
+		}
+		auto, err := db.Exec(ctx, q)
+		if err != nil {
+			t.Fatalf("Exec(auto, %q): %v", q, err)
+		}
+		var seqBuf, autoBuf strings.Builder
+		if err := seq.WriteTable(&seqBuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := auto.WriteTable(&autoBuf); err != nil {
+			t.Fatal(err)
+		}
+		if seqBuf.String() != autoBuf.String() {
+			t.Errorf("SF=%g %q: auto result differs from sequential (partitions=%d workers=%d, %s)",
+				sf, q, auto.Stats.Partitions, auto.Stats.Workers, auto.Stats.TuneReason)
+		}
+		t.Logf("SF=%g %q: rows=%d partitions=%d workers=%d seq=%v auto=%v",
+			sf, q, auto.Rows(), auto.Stats.Partitions, auto.Stats.Workers,
+			seq.Stats.Elapsed, auto.Stats.Elapsed)
+	}
+}

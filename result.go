@@ -84,7 +84,7 @@ type Stats struct {
 	// AutoTuned reports that Partitions and/or Workers were chosen
 	// adaptively (the Auto sentinel); TuneReason records what the
 	// selection saw and picked, e.g.
-	// "auto: rows=60175 procs=4 -> 8 partitions (...)".
+	// "auto: shape=scan rows=60175 procs=4 -> 8 partitions (...)".
 	AutoTuned  bool
 	TuneReason string
 	// CacheHit reports whether the optimized plan came from the shared
