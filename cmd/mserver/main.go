@@ -5,6 +5,11 @@
 // Usage:
 //
 //	mserver -addr 127.0.0.1:50000 -sf 0.01 -name demo
+//	mserver -addr 127.0.0.1:50000 -data /var/lib/stetho/sf01
+//
+// With -data the server opens a dataset persisted by tpchgen -persist
+// (or DB.Persist) instead of regenerating: startup reads only the
+// manifest, and columns stream off disk as queries first scan them.
 package main
 
 import (
@@ -23,11 +28,33 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:50000", "TCP listen address")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	seed := flag.Uint64("seed", 42, "data generator seed")
+	data := flag.String("data", "", "open this persisted dataset directory instead of generating (-sf/-seed must be left default)")
 	name := flag.String("name", "mserver", "server name announced to clients")
 	flag.Parse()
 
-	log.Printf("generating TPC-H data at SF=%g ...", *sf)
-	db, err := stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
+	var (
+		db  *stethoscope.DB
+		err error
+	)
+	if *data != "" {
+		log.Printf("opening persisted dataset %s ...", *data)
+		var opts []stethoscope.Option
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "sf" || f.Name == "seed" {
+				// Let Open report the conflict instead of silently
+				// ignoring the flag.
+				if f.Name == "sf" {
+					opts = append(opts, stethoscope.WithScaleFactor(*sf))
+				} else {
+					opts = append(opts, stethoscope.WithSeed(*seed))
+				}
+			}
+		})
+		db, err = stethoscope.OpenPath(*data, opts...)
+	} else {
+		log.Printf("generating TPC-H data at SF=%g ...", *sf)
+		db, err = stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
+	}
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}

@@ -1,14 +1,19 @@
 // Command tpchgen dumps the synthetic TPC-H tables as CSV, for
-// inspecting the data substrate or feeding external tools.
+// inspecting the data substrate or feeding external tools, and
+// persists whole datasets to disk for later OpenPath / mserver -data
+// opens that skip regeneration.
 //
 // Usage:
 //
 //	tpchgen -table lineitem -sf 0.001 -limit 20
+//	tpchgen -persist /var/lib/stetho/sf01 -sf 0.1
 package main
 
 import (
 	"bufio"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -16,19 +21,51 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "lineitem", "table to dump")
-	sf := flag.Float64("sf", 0.001, "TPC-H scale factor")
-	seed := flag.Uint64("seed", 42, "generator seed")
-	limit := flag.Int("limit", 0, "max rows (0 = all)")
-	flag.Parse()
-
-	db, err := stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
-	if err != nil {
-		log.Fatalf("open: %v", err)
-	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	if err := db.DumpCSV(w, *table, *limit); err != nil {
+	if err := run(os.Args[1:], os.Stdout, log.Printf); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// run is the whole CLI behind a testable seam: flag parsing, flag
+// validation, generation, and then either a dataset persist or a CSV
+// dump.
+func run(args []string, stdout io.Writer, logf func(string, ...any)) error {
+	fs := flag.NewFlagSet("tpchgen", flag.ContinueOnError)
+	table := fs.String("table", "lineitem", "table to dump")
+	sf := fs.Float64("sf", 0.001, "TPC-H scale factor")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	limit := fs.Int("limit", 0, "max rows (0 = all)")
+	persist := fs.String("persist", "", "persist the whole dataset into this directory instead of dumping CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Validate through the same rules Open applies, so a bad flag fails
+	// loudly here instead of being accepted silently (NaN, for one,
+	// slips past a plain `sf <= 0` check) or surfacing as a confusing
+	// generator error.
+	if err := stethoscope.ValidateScaleFactor(*sf); err != nil {
+		return fmt.Errorf("-sf %g: %w", *sf, err)
+	}
+	if *limit < 0 {
+		return fmt.Errorf("-limit must be >= 0, got %d", *limit)
+	}
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	defer db.Close()
+	if *persist != "" {
+		if err := db.Persist(*persist); err != nil {
+			return err
+		}
+		var rows int
+		for _, t := range db.Tables() {
+			rows += t.Rows
+		}
+		logf("persisted %d tables (%d rows) at SF=%g seed=%d into %s", len(db.Tables()), rows, *sf, *seed, *persist)
+		return nil
+	}
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	return db.DumpCSV(w, *table, *limit)
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stethoscope"
+)
+
+func discardLogf(string, ...any) {}
+
+// TestRejectsBadScaleFactor pins the regression where out-of-range -sf
+// values were accepted silently: zero and negative were passed through
+// to generation, and NaN slipped past the facade's old `sf <= 0` check
+// entirely (NaN comparisons are always false). All of them must fail
+// flag validation now, before any data is generated.
+func TestRejectsBadScaleFactor(t *testing.T) {
+	for _, sf := range []float64{0, -0.01, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		args := []string{"-sf", strconv.FormatFloat(sf, 'g', -1, 64), "-limit", "1"}
+		err := run(args, &bytes.Buffer{}, discardLogf)
+		if err == nil {
+			t.Fatalf("run(-sf %g) succeeded, want validation error", sf)
+		}
+		if !strings.Contains(err.Error(), "scale factor") {
+			t.Fatalf("run(-sf %g) error %q does not mention the scale factor", sf, err)
+		}
+	}
+}
+
+func TestRejectsNegativeLimit(t *testing.T) {
+	if err := run([]string{"-limit", "-1"}, &bytes.Buffer{}, discardLogf); err == nil {
+		t.Fatal("run(-limit -1) succeeded, want validation error")
+	}
+}
+
+// TestDumpCSVSmoke keeps the original dump path working: a tiny table
+// dump yields a header plus the requested rows.
+func TestDumpCSVSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "region", "-limit", "3"}, &out, discardLogf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "r_regionkey") {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+}
+
+// TestPersistFlagWritesOpenableDataset drives the -persist flag end to
+// end: the directory it writes must open without regeneration and
+// serve the same rows the generator would.
+func TestPersistFlagWritesOpenableDataset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := run([]string{"-sf", "0.001", "-persist", dir}, &bytes.Buffer{}, discardLogf); err != nil {
+		t.Fatalf("run -persist: %v", err)
+	}
+	var direct, persisted bytes.Buffer
+	if err := run([]string{"-sf", "0.001", "-table", "nation", "-limit", "0"}, &direct, discardLogf); err != nil {
+		t.Fatalf("run dump: %v", err)
+	}
+	db, err := stethoscope.OpenPath(dir)
+	if err != nil {
+		t.Fatalf("OpenPath: %v", err)
+	}
+	defer db.Close()
+	if err := db.DumpCSV(&persisted, "nation", 0); err != nil {
+		t.Fatalf("DumpCSV from persisted: %v", err)
+	}
+	if direct.String() != persisted.String() {
+		t.Fatal("persisted dataset dump differs from direct generation")
+	}
+}

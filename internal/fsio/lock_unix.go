@@ -1,6 +1,6 @@
 //go:build unix
 
-package tracestore
+package fsio
 
 import (
 	"os"

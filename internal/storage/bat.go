@@ -41,6 +41,26 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// ParseKind resolves a kind name produced by Kind.String — the
+// spelling persisted dataset manifests use.
+func ParseKind(s string) (Kind, bool) {
+	switch s {
+	case "int":
+		return Int, true
+	case "flt":
+		return Flt, true
+	case "str":
+		return Str, true
+	case "bit":
+		return Bool, true
+	case "date":
+		return Date, true
+	case "oid":
+		return OID, true
+	}
+	return Int, false
+}
+
 func (k Kind) usesInts() bool { return k == Int || k == Date || k == OID }
 
 // BAT is a single column. The zero value is not usable; construct with New.

@@ -12,26 +12,67 @@ type Column struct {
 	Kind Kind
 }
 
-// Table is a named collection of equal-length BATs.
+// Table is a named collection of equal-length BATs. A table is either
+// fully materialized (Define) or lazily loaded (DefineLazy): the schema
+// and row count are always resident, but a lazy table's column data is
+// materialized on first access through the registered loader — the hook
+// persisted datasets (internal/batstore) use so opening a catalog costs
+// a manifest read, not a full data load.
 type Table struct {
 	Schema  string
 	Name    string
 	Columns []Column
-	bats    map[string]*BAT
+	rows    int
+
+	mu   sync.Mutex
+	bats map[string]*BAT
+	load func(column string) (*BAT, error) // nil when fully materialized
 }
 
-// Rows returns the table's row count (0 for a column-less table).
-func (t *Table) Rows() int {
-	for _, b := range t.bats {
-		return b.Len()
-	}
-	return 0
-}
+// Rows returns the table's row count. It never triggers a lazy load:
+// the count comes from the declared data (Define) or the manifest
+// (DefineLazy), so the adaptive planner can size mitosis fan-out
+// without touching column files.
+func (t *Table) Rows() int { return t.rows }
 
-// Column returns the BAT backing the named column.
+// Column returns the BAT backing the named column, materializing a lazy
+// column on first access. A failed lazy load reports as absent; callers
+// that must distinguish corruption from an unknown name (the engine's
+// bind path) use ColumnData.
 func (t *Table) Column(name string) (*BAT, bool) {
-	b, ok := t.bats[name]
-	return b, ok
+	b, err := t.ColumnData(name)
+	return b, err == nil
+}
+
+// ColumnData is Column with the lazy-load error surfaced: a corrupt or
+// unreadable column file yields the loader's error (naming the segment
+// file) instead of a silent miss.
+func (t *Table) ColumnData(name string) (*BAT, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.bats[name]; ok {
+		return b, nil
+	}
+	if t.load == nil {
+		return nil, fmt.Errorf("storage: unknown column %s.%s.%s", t.Schema, t.Name, name)
+	}
+	if _, ok := t.ColumnKind(name); !ok {
+		return nil, fmt.Errorf("storage: unknown column %s.%s.%s", t.Schema, t.Name, name)
+	}
+	b, err := t.load(name)
+	if err != nil {
+		return nil, err
+	}
+	if kind, _ := t.ColumnKind(name); b.Kind() != kind {
+		return nil, fmt.Errorf("storage: lazy column %s.%s.%s loaded as %s, declared %s",
+			t.Schema, t.Name, name, b.Kind(), kind)
+	}
+	if b.Len() != t.rows {
+		return nil, fmt.Errorf("storage: lazy column %s.%s.%s loaded %d rows, manifest declares %d",
+			t.Schema, t.Name, name, b.Len(), t.rows)
+	}
+	t.bats[name] = b
+	return b, nil
 }
 
 // ColumnKind returns the declared kind of the named column.
@@ -82,10 +123,33 @@ func (c *Catalog) Define(schema, name string, cols []Column, data map[string]*BA
 				schema, name, col.Name, b.Len(), rows)
 		}
 	}
-	t := &Table{Schema: schema, Name: name, Columns: append([]Column(nil), cols...), bats: make(map[string]*BAT, len(cols))}
+	t := &Table{Schema: schema, Name: name, Columns: append([]Column(nil), cols...), rows: rows, bats: make(map[string]*BAT, len(cols))}
 	for _, col := range cols {
 		t.bats[col.Name] = data[col.Name]
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[key(schema, name)] = t
+	return nil
+}
+
+// DefineLazy registers a table whose column data materializes on first
+// access: load is called once per column (under the table's lock) and
+// must return a BAT of the declared kind with exactly rows rows. This
+// is how a persisted dataset appears in the catalog without an upfront
+// full load — binds pull columns in as queries actually scan them.
+func (c *Catalog) DefineLazy(schema, name string, cols []Column, rows int, load func(column string) (*BAT, error)) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("storage: table %s.%s has no columns", schema, name)
+	}
+	if rows < 0 {
+		return fmt.Errorf("storage: table %s.%s has negative row count %d", schema, name, rows)
+	}
+	if load == nil {
+		return fmt.Errorf("storage: table %s.%s registered without a loader", schema, name)
+	}
+	t := &Table{Schema: schema, Name: name, Columns: append([]Column(nil), cols...), rows: rows,
+		bats: make(map[string]*BAT, len(cols)), load: load}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[key(schema, name)] = t
@@ -101,17 +165,15 @@ func (c *Catalog) Table(schema, name string) (*Table, bool) {
 }
 
 // Bind resolves schema.table.column to its backing BAT, the MAL sql.bind
-// primitive.
+// primitive. On a lazily-loaded table this is where column data comes
+// off disk, and a corrupt segment surfaces here as the loader's error —
+// a failed scan, never a silent wrong answer.
 func (c *Catalog) Bind(schema, table, column string) (*BAT, error) {
 	t, ok := c.Table(schema, table)
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown table %s.%s", schema, table)
 	}
-	b, ok := t.Column(column)
-	if !ok {
-		return nil, fmt.Errorf("storage: unknown column %s.%s.%s", schema, table, column)
-	}
-	return b, nil
+	return t.ColumnData(column)
 }
 
 // TableNames returns the sorted list of "schema.table" keys, for catalogs

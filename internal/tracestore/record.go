@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"stethoscope/internal/fsio"
 	"stethoscope/internal/profiler"
 )
 
@@ -36,8 +37,9 @@ const (
 	recEnd    byte = 3
 )
 
-// recHeaderLen is the fixed record header: payload length + CRC.
-const recHeaderLen = 8
+// recHeaderLen is the fixed record header: payload length + CRC
+// (the shared fsio framing).
+const recHeaderLen = fsio.RecordHeaderLen
 
 // maxRecordBytes bounds a single record; anything larger read back from
 // disk is treated as corruption rather than allocated.

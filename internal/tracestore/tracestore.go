@@ -13,9 +13,7 @@ package tracestore
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"log"
 	"os"
@@ -25,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"stethoscope/internal/fsio"
 	"stethoscope/internal/profiler"
 )
 
@@ -33,7 +32,6 @@ const (
 	DefaultMaxSegmentBytes = 8 << 20
 	segPrefix              = "seg-"
 	segSuffix              = ".tlog"
-	lockName               = "LOCK"
 )
 
 // DefaultAppendBatch is how many events one durable events record
@@ -194,13 +192,9 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
 	if !opts.ReadOnly {
-		lf, err := os.OpenFile(filepath.Join(opts.Dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+		lf, err := fsio.AcquireDirLock(opts.Dir)
 		if err != nil {
-			return nil, fmt.Errorf("tracestore: %w", err)
-		}
-		if err := lockFile(lf); err != nil {
-			lf.Close()
-			return nil, fmt.Errorf("tracestore: %s is locked by another writer (open it ReadOnly to inspect a live store): %w", opts.Dir, err)
+			return nil, fmt.Errorf("tracestore (open it ReadOnly to inspect a live store): %w", err)
 		}
 		s.lockF = lf
 	}
@@ -321,8 +315,7 @@ func (s *Store) scanSegment(id int, last bool) error {
 			s.handleTorn(path, id, off, fi.Size(), last, segEvents, segRuns, meta)
 			return nil
 		}
-		plen := binary.LittleEndian.Uint32(hdr[0:4])
-		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		plen, crc := fsio.ParseRecordHeader(hdr[:])
 		if plen == 0 || plen > maxRecordBytes {
 			s.handleTorn(path, id, off, fi.Size(), last, segEvents, segRuns, meta)
 			return nil
@@ -335,7 +328,7 @@ func (s *Store) scanSegment(id int, last bool) error {
 			s.handleTorn(path, id, off, fi.Size(), last, segEvents, segRuns, meta)
 			return nil
 		}
-		if crc32.ChecksumIEEE(payload) != crc {
+		if fsio.Checksum(payload) != crc {
 			s.handleTorn(path, id, off, fi.Size(), last, segEvents, segRuns, meta)
 			return nil
 		}
@@ -462,8 +455,7 @@ func (s *Store) appendLocked(payload []byte) (recRef, error) {
 		active = s.segs[len(s.segs)-1]
 	}
 	var hdr [recHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	fsio.PutRecordHeader(hdr[:], payload)
 	off := active.size
 	if _, err := s.w.Write(hdr[:]); err != nil {
 		return recRef{}, fmt.Errorf("tracestore: %w", err)
@@ -638,23 +630,12 @@ func (s *Store) snapshot(id uint64) (RunInfo, []recRef, error) {
 	return e.info, append([]recRef(nil), e.refs...), nil
 }
 
-// readRecordAt reads and verifies one record.
+// readRecordAt reads and verifies one record through the shared fsio
+// framing.
 func readRecordAt(f *os.File, off int64) ([]byte, error) {
-	var hdr [recHeaderLen]byte
-	if _, err := f.ReadAt(hdr[:], off); err != nil {
-		return nil, err
-	}
-	plen := binary.LittleEndian.Uint32(hdr[0:4])
-	crc := binary.LittleEndian.Uint32(hdr[4:8])
-	if plen == 0 || plen > maxRecordBytes {
-		return nil, fmt.Errorf("tracestore: implausible record length %d at offset %d", plen, off)
-	}
-	payload := make([]byte, plen)
-	if _, err := f.ReadAt(payload, off+recHeaderLen); err != nil {
-		return nil, err
-	}
-	if crc32.ChecksumIEEE(payload) != crc {
-		return nil, fmt.Errorf("tracestore: checksum mismatch at offset %d", off)
+	payload, err := fsio.ReadRecordAt(f, off, maxRecordBytes)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
 	}
 	return payload, nil
 }
@@ -844,10 +825,8 @@ func (s *Store) Close() error {
 
 // closeLock releases the writer lock file (flock drops with the fd).
 func (s *Store) closeLock() {
-	if s.lockF != nil {
-		s.lockF.Close()
-		s.lockF = nil
-	}
+	fsio.ReleaseLock(s.lockF)
+	s.lockF = nil
 }
 
 // callOf extracts the "module.function" call name of a MAL statement

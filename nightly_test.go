@@ -11,27 +11,46 @@ import (
 )
 
 // TestTPCHNightlyLargeScale is the nightly workflow's large-data leg:
-// the PR gate runs TPC-H at SF 0.05, the scheduled job sets
-// STETHO_TPCH_SF (0.2 in .github/workflows/nightly.yml) and re-runs the
-// exact-shape scan/join/sort pipelines there, comparing sequential and
-// auto-tuned execution byte for byte. Unset, the test skips, so it
-// costs PR CI nothing.
+// the PR gate runs TPC-H at SF 0.05, the scheduled job persists an SF
+// 0.2 dataset with tpchgen -persist, sets STETHO_TPCH_DIR (see
+// .github/workflows/nightly.yml), and re-runs the exact-shape
+// scan/join/sort pipelines against it — so the sweep also exercises the
+// durable-storage read path (lazy segment-at-a-time scans) at scale.
+// STETHO_TPCH_SF instead generates in memory, as before. With neither
+// set the test skips, so it costs PR CI nothing.
 func TestTPCHNightlyLargeScale(t *testing.T) {
+	dirEnv := os.Getenv("STETHO_TPCH_DIR")
 	sfEnv := os.Getenv("STETHO_TPCH_SF")
-	if sfEnv == "" {
-		t.Skip("set STETHO_TPCH_SF (e.g. 0.2) to run the large-scale TPC-H sweep")
+	if dirEnv == "" && sfEnv == "" {
+		t.Skip("set STETHO_TPCH_DIR (a tpchgen -persist dataset) or STETHO_TPCH_SF (e.g. 0.2) to run the large-scale TPC-H sweep")
 	}
-	sf, err := strconv.ParseFloat(sfEnv, 64)
-	if err != nil || sf <= 0 {
-		t.Fatalf("bad STETHO_TPCH_SF %q: %v", sfEnv, err)
+	var (
+		db  *stethoscope.DB
+		sf  float64
+		err error
+	)
+	if dirEnv != "" {
+		db, err = stethoscope.OpenPath(dirEnv,
+			stethoscope.WithPartitions(stethoscope.Auto),
+			stethoscope.WithWorkers(stethoscope.Auto))
+		if err != nil {
+			t.Fatalf("OpenPath(%s): %v", dirEnv, err)
+		}
+		sf, _ = strconv.ParseFloat(db.DataMeta()["sf"], 64)
+	} else {
+		sf, err = strconv.ParseFloat(sfEnv, 64)
+		if err != nil || sf <= 0 {
+			t.Fatalf("bad STETHO_TPCH_SF %q: %v", sfEnv, err)
+		}
+		db, err = stethoscope.Open(
+			stethoscope.WithScaleFactor(sf), stethoscope.WithSeed(42),
+			stethoscope.WithPartitions(stethoscope.Auto),
+			stethoscope.WithWorkers(stethoscope.Auto))
+		if err != nil {
+			t.Fatalf("Open(SF=%g): %v", sf, err)
+		}
 	}
-	db, err := stethoscope.Open(
-		stethoscope.WithScaleFactor(sf), stethoscope.WithSeed(42),
-		stethoscope.WithPartitions(stethoscope.Auto),
-		stethoscope.WithWorkers(stethoscope.Auto))
-	if err != nil {
-		t.Fatalf("Open(SF=%g): %v", sf, err)
-	}
+	defer db.Close()
 	queries := []string{
 		scalingQuery,
 		scalingJoinQuery,

@@ -1,0 +1,65 @@
+// Durable-storage experiment: cold-start cost of a persisted dataset
+// versus regenerating the substrate. Both benchmarks open a database at
+// the same scale factor and run one query so "open" means
+// query-answering, not just constructed; the persisted side reads the
+// manifest plus the one column the query scans, the generated side
+// synthesizes every table. Recorded in CI's BENCH_<sha>.json via the
+// bench-record sweep.
+package stethoscope
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// openBenchSF is the scale factor both open benchmarks share; 0.1 is
+// large enough (~600k lineitem rows) that generation dominates noise.
+const openBenchSF = 0.1
+
+const openBenchQuery = "select count(*) as n from lineitem"
+
+// BenchmarkOpenGenerate is the baseline every Open used to pay:
+// regenerate the full TPC-H substrate, then answer one query.
+func BenchmarkOpenGenerate(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db, err := Open(WithScaleFactor(openBenchSF))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(ctx, openBenchQuery); err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkOpenPersisted opens the same dataset from a persisted
+// snapshot: manifest only, then the queried column streams off disk.
+// The recorded claim is a >=3x faster cold open than regeneration.
+func BenchmarkOpenPersisted(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "ds")
+	db, err := Open(WithScaleFactor(openBenchSF))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Persist(dir); err != nil {
+		b.Fatal(err)
+	}
+	db.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdb, err := OpenPath(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pdb.Exec(ctx, openBenchQuery); err != nil {
+			b.Fatal(err)
+		}
+		pdb.Close()
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"stethoscope/internal/adaptive"
+	"stethoscope/internal/batstore"
 	"stethoscope/internal/engine"
 	"stethoscope/internal/optimizer"
 	"stethoscope/internal/plancache"
@@ -38,6 +40,9 @@ const Auto = adaptive.Auto
 type config struct {
 	sf         float64
 	seed       uint64
+	sfSet      bool   // WithScaleFactor was given explicitly
+	seedSet    bool   // WithSeed was given explicitly
+	dataDir    string // non-empty: open a persisted dataset instead of generating
 	partitions int
 	workers    int
 	passes     []string       // nil selects the default optimizer pipeline
@@ -49,11 +54,34 @@ type config struct {
 type Option func(*config)
 
 // WithScaleFactor sets the synthetic TPC-H scale factor (default 0.01).
-func WithScaleFactor(sf float64) Option { return func(c *config) { c.sf = sf } }
+func WithScaleFactor(sf float64) Option {
+	return func(c *config) { c.sf, c.sfSet = sf, true }
+}
 
 // WithSeed sets the data generator seed (default 42), making the
 // database contents reproducible.
-func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed, c.seedSet = seed, true }
+}
+
+// WithPath opens the database from a persisted dataset directory
+// (written by DB.Persist or tpchgen -persist) instead of generating
+// TPC-H data: the catalog's schemas and row counts load from the
+// dataset manifest, and column data streams off disk lazily as queries
+// first scan it. The dataset fixes the data contents, so combining
+// WithPath with WithScaleFactor or WithSeed is an error.
+func WithPath(dir string) Option { return func(c *config) { c.dataDir = dir } }
+
+// ValidateScaleFactor checks a TPC-H scale factor the way Open does: it
+// must be a positive finite number. Shared with cmd/tpchgen so the CLI
+// rejects out-of-range flags with the same rule instead of silently
+// generating from garbage.
+func ValidateScaleFactor(sf float64) error {
+	if math.IsNaN(sf) || math.IsInf(sf, 0) || sf <= 0 {
+		return fmt.Errorf("stethoscope: scale factor must be a positive finite number, got %g", sf)
+	}
+	return nil
+}
 
 // WithPartitions sets the default mitosis partition count queries are
 // compiled with (default 1 — no partitioning). Pass Auto to size the
@@ -127,9 +155,10 @@ type DB struct {
 	passSpec string
 	cat      *storage.Catalog
 	eng      *engine.Engine
-	cache    *plancache.Cache // nil when caching is disabled
-	planner  planner.Planner  // the shared compile flow over cat/cache/pipeline
-	hist     *History         // nil when query history is disabled
+	cache    *plancache.Cache  // nil when caching is disabled
+	planner  planner.Planner   // the shared compile flow over cat/cache/pipeline
+	hist     *History          // nil when query history is disabled
+	dataMeta map[string]string // provenance recorded into persisted datasets
 
 	opened   time.Time
 	inflight atomic.Int64
@@ -143,8 +172,11 @@ func Open(opts ...Option) (*DB, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.sf <= 0 {
-		return nil, fmt.Errorf("stethoscope: scale factor must be positive, got %g", cfg.sf)
+	if cfg.dataDir != "" && (cfg.sfSet || cfg.seedSet) {
+		return nil, fmt.Errorf("stethoscope: WithPath opens a persisted dataset whose contents are fixed; WithScaleFactor/WithSeed cannot apply (regenerate with tpchgen -persist to change them)")
+	}
+	if err := ValidateScaleFactor(cfg.sf); err != nil {
+		return nil, err
 	}
 	if (cfg.partitions < 1 && cfg.partitions != Auto) || (cfg.workers < 1 && cfg.workers != Auto) {
 		return nil, fmt.Errorf("stethoscope: partitions and workers must be >= 1 (or Auto)")
@@ -153,9 +185,30 @@ func Open(opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	cat := storage.NewCatalog()
-	if err := tpch.Load(cat, tpch.Config{SF: cfg.sf, Seed: cfg.seed}); err != nil {
-		return nil, fmt.Errorf("stethoscope: %w", err)
+	var (
+		cat  *storage.Catalog
+		meta map[string]string
+	)
+	if cfg.dataDir != "" {
+		store, err := batstore.Open(cfg.dataDir)
+		if err != nil {
+			return nil, fmt.Errorf("stethoscope: %w", err)
+		}
+		cat, err = store.Catalog()
+		if err != nil {
+			return nil, fmt.Errorf("stethoscope: %w", err)
+		}
+		meta = store.Meta()
+	} else {
+		cat = storage.NewCatalog()
+		if err := tpch.Load(cat, tpch.Config{SF: cfg.sf, Seed: cfg.seed}); err != nil {
+			return nil, fmt.Errorf("stethoscope: %w", err)
+		}
+		meta = map[string]string{
+			"source": "tpchgen",
+			"sf":     strconv.FormatFloat(cfg.sf, 'g', -1, 64),
+			"seed":   strconv.FormatUint(cfg.seed, 10),
+		}
 	}
 	db := &DB{
 		cfg:      cfg,
@@ -163,6 +216,7 @@ func Open(opts ...Option) (*DB, error) {
 		passSpec: pl.Spec(),
 		cat:      cat,
 		eng:      engine.New(cat),
+		dataMeta: meta,
 		opened:   time.Now(),
 	}
 	if cfg.cacheSize > 0 {
@@ -177,6 +231,41 @@ func Open(opts ...Option) (*DB, error) {
 		db.hist = hist
 	}
 	return db, nil
+}
+
+// OpenPath opens a database from a persisted dataset directory written
+// by DB.Persist or tpchgen -persist. The catalog comes from the
+// dataset's manifest — nothing is regenerated — and column data streams
+// off disk lazily, one segment at a time, as queries first touch each
+// column. All other options (partitions, workers, passes, cache,
+// history) apply exactly as with Open.
+func OpenPath(dir string, opts ...Option) (*DB, error) {
+	return Open(append([]Option{WithPath(dir)}, opts...)...)
+}
+
+// Persist snapshots the database's full catalog into dir as a durable
+// columnar dataset: a manifest plus one segmented, checksummed,
+// compressed file per column. The directory can then be reopened with
+// OpenPath (or mserver -data, or queried offline) without regenerating
+// TPC-H data. Persist takes the writer lock on dir and replaces any
+// dataset already there; the manifest is committed last, atomically, so
+// an interrupted Persist never leaves an openable half-dataset.
+func (db *DB) Persist(dir string) error {
+	if err := batstore.Persist(dir, db.cat, db.dataMeta, 0); err != nil {
+		return fmt.Errorf("stethoscope: %w", err)
+	}
+	return nil
+}
+
+// DataMeta reports the provenance of the loaded dataset: generator
+// scale factor and seed for generated databases, the persisted
+// manifest's metadata for OpenPath databases.
+func (db *DB) DataMeta() map[string]string {
+	out := make(map[string]string, len(db.dataMeta))
+	for k, v := range db.dataMeta {
+		out[k] = v
+	}
+	return out
 }
 
 // Close releases the database. With history enabled it seals the trace
@@ -442,7 +531,10 @@ func (db *DB) DumpCSV(w io.Writer, table string, limit int) error {
 	bats := make([]*storage.BAT, len(t.Columns))
 	for i, c := range t.Columns {
 		names[i] = c.Name
-		bats[i], _ = t.Column(c.Name)
+		var err error
+		if bats[i], err = t.ColumnData(c.Name); err != nil {
+			return fmt.Errorf("stethoscope: %w", err)
+		}
 	}
 	if _, err := fmt.Fprintln(w, strings.Join(names, ",")); err != nil {
 		return err
