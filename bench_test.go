@@ -7,6 +7,8 @@ package stethoscope
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"testing"
@@ -882,6 +884,159 @@ func BenchmarkParallelJoin(b *testing.B) {
 	}
 	b.Run("sequential", func(b *testing.B) { run(b, ExecPartitions(1), ExecWorkers(1)) })
 	b.Run("auto", func(b *testing.B) { run(b) })
+}
+
+// --- Morsel-driven execution: bounded intermediates --------------------
+
+// peakRSSQuery aggregates seven lineitem columns behind a barely
+// selective filter: the static lowering materializes every partition's
+// selection vectors and fetched aggregate inputs in the run context at
+// once (they stay live until the run ends), while the morsel lowering
+// holds only workers × morsel rows of fragment state plus the tiny
+// per-morsel group partials.
+const peakRSSQuery = "select l_shipmode, count(*) as n, sum(l_quantity) as q, sum(l_extendedprice) as ep, " +
+	"sum(l_discount) as d, sum(l_tax) as tx, max(l_orderkey) as mo, min(l_partkey) as mp " +
+	"from lineitem where l_quantity > 1 group by l_shipmode"
+
+// peakDB lazily opens the SF 0.1 database the peak-memory measurements
+// share (~600k lineitem rows — large enough that intermediate
+// footprints dwarf allocator noise).
+var peakDB = func() func(tb testing.TB) *DB {
+	var (
+		once sync.Once
+		db   *DB
+		err  error
+	)
+	return func(tb testing.TB) *DB {
+		once.Do(func() {
+			db, err = Open(WithScaleFactor(0.1), WithSeed(42))
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return db
+	}
+}()
+
+// peakHeapDuring measures the peak heap while f runs, relative to the
+// pre-run baseline (the loaded catalog). Dropping GOGC to 5 for the
+// duration makes the collector reclaim garbage almost as soon as it is
+// produced, so the sampled HeapAlloc tracks what the run actually
+// RETAINS — the intermediates held live in the run context — rather
+// than transient allocation churn, which both lowerings produce in
+// similar volume.
+func peakHeapDuring(f func() error) (peakBytes uint64, err error) {
+	old := debug.SetGCPercent(5)
+	defer debug.SetGCPercent(old)
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stop := make(chan struct{})
+	done := make(chan uint64, 1)
+	go func() {
+		var max uint64
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > max {
+				max = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				done <- max
+				return
+			default:
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	err = f()
+	close(stop)
+	peak := <-done
+	if peak > base.HeapAlloc {
+		peak -= base.HeapAlloc
+	} else {
+		peak = 0
+	}
+	return peak, err
+}
+
+// BenchmarkPeakRSS compares peak intermediate memory between the static
+// mitosis lowering (64 partitions, every slice live until the run ends)
+// and the morsel-driven lowering (16Ki-row morsels on 8 workers) on the
+// same aggregate. The peak-bytes metric is recorded by bench-record and
+// gated by cmd/benchjson alongside ns/op; the morsel variant must stay
+// well under the static one (the companion assertion is
+// TestMorselBoundsPeakMemory).
+func BenchmarkPeakRSS(b *testing.B) {
+	db := peakDB(b)
+	ctx := context.Background()
+	variants := []struct {
+		name string
+		opts []ExecOption
+	}{
+		{"static", []ExecOption{ExecPartitions(64), ExecWorkers(8)}},
+		{"morsel", []ExecOption{ExecMorselRows(16384), ExecWorkers(8)}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var peak uint64
+			for i := 0; i < b.N; i++ {
+				p, err := peakHeapDuring(func() error {
+					_, err := db.Exec(ctx, peakRSSQuery, v.opts...)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p > peak {
+					peak = p
+				}
+			}
+			b.ReportMetric(float64(peak), "peak-bytes")
+		})
+	}
+}
+
+// TestMorselBoundsPeakMemory is the assertion behind the morsel mode's
+// bounded-intermediates claim: on the high-fanout aggregate, the morsel
+// path's peak live heap must be at least 40% below the static path's.
+// Forced-GC sampling keeps the measurement on the live set, but it is
+// still a heap measurement — skipped under -short and -race, where
+// instrumentation distorts it.
+func TestMorselBoundsPeakMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap measurement skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("heap measurement skipped under -race")
+	}
+	db := peakDB(t)
+	ctx := context.Background()
+	measure := func(opts ...ExecOption) uint64 {
+		t.Helper()
+		best := ^uint64(0)
+		for i := 0; i < 3; i++ {
+			peak, err := peakHeapDuring(func() error {
+				_, err := db.Exec(ctx, peakRSSQuery, opts...)
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if peak < best {
+				best = peak
+			}
+		}
+		return best
+	}
+	static := measure(ExecPartitions(64), ExecWorkers(8))
+	morsel := measure(ExecMorselRows(16384), ExecWorkers(8))
+	t.Logf("peak live heap: static=%d bytes, morsel=%d bytes (%.0f%% reduction)",
+		static, morsel, 100*(1-float64(morsel)/float64(static)))
+	if float64(morsel) > 0.6*float64(static) {
+		t.Errorf("morsel peak %d bytes is not >= 40%% below static peak %d bytes", morsel, static)
+	}
 }
 
 // BenchmarkParallelSort tracks sort mitosis: per-slice sorts with the

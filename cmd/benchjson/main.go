@@ -42,14 +42,17 @@ import (
 	"strings"
 )
 
-// Record is one benchmark measurement.
+// Record is one benchmark measurement. Custom carries b.ReportMetric
+// units the standard fields don't cover (e.g. "peak-bytes",
+// "events/sec"), keyed by unit.
 type Record struct {
-	Name        string  `json:"name"`
-	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
 }
 
 // Document is the artifact schema.
@@ -164,7 +167,8 @@ func thresholdFor(name string, defaultPct float64, overrides map[string]float64)
 // whose baseline and current bests are BOTH below it measures mostly
 // timer and scheduler jitter at the recording benchtime and is skipped;
 // one that balloons from below the floor to above it still gates, so
-// the floor cannot mask a real cliff.
+// the floor cannot mask a real cliff. Custom byte metrics (peak-bytes)
+// gate alongside ns/op — see byteMetricViolations.
 func GateViolations(base, cur Document, defaultPct, minNs float64, overrides map[string]float64) []string {
 	b, c := bestNs(base), bestNs(cur)
 	names := make([]string, 0, len(c))
@@ -190,7 +194,70 @@ func GateViolations(base, cur Document, defaultPct, minNs float64, overrides map
 				name, baseNs, curNs, pct, limit))
 		}
 	}
+	out = append(out, byteMetricViolations(base, cur, defaultPct, overrides)...)
 	return out
+}
+
+// byteMetricViolations gates custom byte metrics (units ending in
+// "-bytes", such as BenchmarkPeakRSS's peak-bytes): like ns/op they are
+// higher-is-worse, so a best-vs-best growth past the benchmark's
+// threshold is a memory regression. Rate-style custom metrics
+// (events/sec) are higher-is-better and are not gated here. The ns/op
+// noise floor does not apply — a byte measurement has no timer jitter.
+func byteMetricViolations(base, cur Document, defaultPct float64, overrides map[string]float64) []string {
+	units := map[string]bool{}
+	for _, r := range cur.Benchmarks {
+		for unit := range r.Custom {
+			if strings.HasSuffix(unit, "-bytes") {
+				units[unit] = true
+			}
+		}
+	}
+	sortedUnits := make([]string, 0, len(units))
+	for unit := range units {
+		sortedUnits = append(sortedUnits, unit)
+	}
+	sort.Strings(sortedUnits)
+	var out []string
+	for _, unit := range sortedUnits {
+		b, c := bestCustom(base, unit), bestCustom(cur, unit)
+		names := make([]string, 0, len(c))
+		for name := range c {
+			if _, ok := b[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			baseV, curV := b[name], c[name]
+			if baseV <= 0 {
+				continue
+			}
+			pct := (curV - baseV) / baseV * 100
+			limit := thresholdFor(name, defaultPct, overrides)
+			if pct > limit {
+				out = append(out, fmt.Sprintf("%-60s %14.0f -> %14.0f %s  %+6.1f%% (limit %.0f%%)",
+					name, baseV, curV, unit, pct, limit))
+			}
+		}
+	}
+	return out
+}
+
+// bestCustom reduces repeated records to the best (lowest) value of one
+// custom higher-is-worse metric per benchmark name.
+func bestCustom(doc Document, unit string) map[string]float64 {
+	best := map[string]float64{}
+	for _, r := range doc.Benchmarks {
+		v, ok := r.Custom[unit]
+		if !ok {
+			continue
+		}
+		if cur, seen := best[r.Name]; !seen || v < cur {
+			best[r.Name] = v
+		}
+	}
+	return best
 }
 
 // bestNs reduces repeated records (-count=N) to the best ns/op per
@@ -298,7 +365,7 @@ func parseBenchLine(line string) (Record, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			rec.NsPerOp = v
 		case "B/op":
@@ -307,6 +374,12 @@ func parseBenchLine(line string) (Record, bool) {
 			rec.AllocsPerOp = v
 		case "MB/s":
 			rec.MBPerSec = v
+		default:
+			// A b.ReportMetric unit ("peak-bytes", "events/sec", ...).
+			if rec.Custom == nil {
+				rec.Custom = map[string]float64{}
+			}
+			rec.Custom[unit] = v
 		}
 	}
 	if rec.NsPerOp == 0 {

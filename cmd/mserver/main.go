@@ -69,7 +69,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	fmt.Printf("mserver %q listening on %s\n", *name, srv.Addr())
-	fmt.Println("protocol: SET partitions|workers N / TRACE udpaddr / FILTER ... / EXPLAIN sql / DOT sql / QUERY sql / TABLES / QUIT")
+	fmt.Println("protocol: SET partitions|workers|morsel <n|auto> / TRACE udpaddr / FILTER ... / EXPLAIN sql / DOT sql / QUERY sql / TABLES / QUIT")
 
 	<-ctx.Done()
 	log.Println("shutting down")

@@ -58,7 +58,7 @@ func main() {
 		log.Fatalf("close: %v", err)
 	}
 
-	fmt.Printf("query returned %d rows\n", res.Rows())
+	fmt.Printf("query returned %d rows\n", res.RowCount())
 	fmt.Printf("plan: %d instructions -> %s\n", res.Stats.Instructions, dotPath)
 	fmt.Printf("trace: %d events      -> %s\n", res.TraceLen(), tracePath)
 

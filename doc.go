@@ -16,12 +16,34 @@
 //
 // The surface is small and composable:
 //
-//   - DB / Open / Exec — the server side in-process: a synthetic TPC-H
-//     catalog (functional options: scale factor, seed, mitosis
-//     partitions, dataflow workers, optimizer pipeline) and a profiled
-//     MAL interpreter. Exec takes a context.Context that cancels the
-//     execution, and returns a Result bundling the optimized MAL plan,
-//     the profiler trace, the result table, and execution statistics.
+//   - DB / Open / Exec / Stream — the server side in-process: a
+//     synthetic TPC-H catalog and a profiled MAL interpreter. Exec takes
+//     a context.Context that cancels the execution, and returns a Result
+//     bundling the optimized MAL plan, the profiler trace, the result
+//     table, and execution statistics. Stream returns a RowIter that
+//     yields rows as the morsel pipeline produces them, before the run
+//     completes.
+//
+// The execution knobs, each validated at its entry point and defaulted
+// per query by ExecOption counterparts where one exists:
+//
+//	Open option           ExecOption        values        selects
+//	--------------------  ----------------  ------------  ----------------------------------------
+//	WithScaleFactor       —                 > 0           synthetic TPC-H scale factor
+//	WithSeed              —                 any           data generator seed
+//	WithPath              —                 dir           persisted dataset instead of generation
+//	WithPartitions        ExecPartitions    ≥1 | Auto     static mitosis slice count
+//	WithWorkers           ExecWorkers       ≥1 | Auto     dataflow scheduler workers
+//	WithMorselRows        ExecMorselRows    ≥1 | Auto     morsel-driven lowering + rows per morsel
+//	WithOptimizerPasses   —                 pass names    MAL optimizer pipeline
+//	WithPlanCacheSize     —                 ≥0            compiled-plan cache capacity (0 disables)
+//	WithHistory(Config)   —                 dir           durable query history
+//
+// Auto defers the choice to the adaptive tuner at execution time; the
+// resolved values and the reason land in Result.Stats (Partitions,
+// Workers, MorselRows, TuneReason). Out-of-range numeric values clamp
+// to 1 through the shared rule in internal/adaptive; Open-time options
+// reject invalid values outright.
 //   - Analyze / OpenOffline → Analysis — Stethoscope proper: the
 //     laid-out plan graph, execution-state coloring (pair-elision,
 //     threshold, gradient), replay, costly-instruction / utilization /

@@ -24,7 +24,7 @@ func main() {
 	}
 	fmt.Println("== MAL plan (paper Figure 1) ==")
 	fmt.Print(res.PlanString())
-	fmt.Printf("\nquery returned %d rows; trace has %d events\n", res.Rows(), res.TraceLen())
+	fmt.Printf("\nquery returned %d rows; trace has %d events\n", res.RowCount(), res.TraceLen())
 
 	a, err := stethoscope.Analyze(res)
 	if err != nil {

@@ -33,7 +33,7 @@ func main() {
 			log.Fatalf("%s: %v", q.ID, err)
 		}
 		fmt.Printf("plan: %d instructions (%s); result: %d rows in %v\n",
-			res.Stats.Instructions, res.Stats.Optimizer, res.Rows(),
+			res.Stats.Instructions, res.Stats.Optimizer, res.RowCount(),
 			res.Stats.Elapsed.Round(time.Microsecond))
 
 		fmt.Println("costliest instructions:")

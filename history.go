@@ -244,7 +244,7 @@ func (h *History) Record(res *Result) (uint64, error) {
 	}
 	if err := w.Finish(tracestore.RunStats{
 		ElapsedUs: res.Stats.Elapsed.Microseconds(),
-		Rows:      res.Rows(),
+		Rows:      res.RowCount(),
 		CacheHit:  res.Stats.CacheHit,
 	}); err != nil {
 		return 0, fmt.Errorf("stethoscope: history: %w", err)

@@ -28,6 +28,33 @@ const MinRowsPerPartition = 4096
 // per column per partition) grows without additional core coverage.
 const MaxPartitions = 64
 
+// DefaultMorselRows is the default morsel size for morsel-driven
+// execution: 16Ki rows keeps a morsel's working set cache-resident
+// while the per-morsel scheduling cost (one atomic fetch-add plus a
+// fragment interpretation) stays negligible against the kernel work.
+const DefaultMorselRows = 16 << 10
+
+// MorselRowsFor chooses the morsel size for a query whose driver table
+// has rows rows, on procs cores. The default is DefaultMorselRows;
+// small inputs shrink the morsel so every core still gets at least two
+// pulls (the dynamic-balancing minimum), floored at
+// MinRowsPerPartition, below which per-morsel overhead dominates. The
+// returned reason carries the morsel=N note Result.Stats.TuneReason
+// and the history RunMeta record.
+func MorselRowsFor(rows, procs int) (int, string) {
+	if procs < 1 {
+		procs = 1
+	}
+	m := DefaultMorselRows
+	if t := rows / (2 * procs); t < m {
+		m = t
+		if m < MinRowsPerPartition {
+			m = MinRowsPerPartition
+		}
+	}
+	return m, fmt.Sprintf("auto: shape=morsel rows=%d procs=%d -> morsel=%d", rows, procs, m)
+}
+
 // Normalize clamps a partition or worker setting into its valid
 // domain: Auto is preserved, anything below 1 becomes 1. Every
 // execution entry point (Exec, Explain, Debug, server QUERY) must pass

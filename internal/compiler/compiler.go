@@ -37,6 +37,17 @@ import (
 type Options struct {
 	// Partitions is the mitosis fan-out; values <= 1 disable partitioning.
 	Partitions int
+	// Morsel selects morsel-driven lowering: instead of static mitosis
+	// slices, the operator chain above each scan is compiled into a
+	// fragment (mal.Fragment) that a single mat.morsel instruction runs
+	// morsel-at-a-time — workers pull fixed-size row ranges from a
+	// shared cursor and run the whole filter/project/probe/partial-agg
+	// chain per morsel, so intermediates stay bounded by
+	// workers × morsel rows. The combine stages (mergetable
+	// recombination, k-way sort merge) are the same ones the static
+	// path uses; sorts in particular close the fragment and reuse the
+	// static slice/sort/kmerge lowering unchanged.
+	Morsel bool
 }
 
 // Compile lowers the tree to MAL. queryText is carried on the plan for
@@ -79,9 +90,23 @@ type rel struct {
 	// sliceable marks cols as a scan eligible for deferred mitosis
 	// slicing into opt.Partitions pieces.
 	sliceable bool
+	// morselable marks cols as a scan eligible for deferred morsel
+	// lowering (the morsel-mode analogue of sliceable): the first
+	// operator that works morsel-wise opens a fragment over the bound
+	// columns, while a consumer that needs the whole relation takes
+	// them as-is.
+	morselable bool
+	// frag, when non-nil, is the morsel form: cols are variable ids in
+	// the fragment's own plan, and the relation's rows are whatever the
+	// fragment computes per morsel, concatenated in morsel order.
+	frag *fragBuild
 }
 
 func (r rel) partitioned() bool { return r.parts != nil || r.sliceable }
+
+// morselish reports the morsel form (open fragment or a scan eligible
+// to open one).
+func (r rel) morselish() bool { return r.frag != nil || r.morselable }
 
 // part views one slice of a partitioned rel as a packed rel.
 func (r rel) part(p int) rel { return rel{schema: r.schema, cols: r.parts[p]} }
@@ -110,7 +135,10 @@ func (c *compiler) forcePartitioned(r rel) rel {
 // columns are returned directly, with no instructions emitted — and
 // packed input passes through untouched.
 func (c *compiler) packed(r rel) rel {
-	if r.sliceable {
+	if r.frag != nil {
+		return c.closeFrag(r)
+	}
+	if r.sliceable || r.morselable {
 		return rel{schema: r.schema, cols: r.cols}
 	}
 	if r.parts == nil {
@@ -130,6 +158,96 @@ func (c *compiler) packed(r rel) rel {
 type compiler struct {
 	plan *mal.Plan
 	opt  Options
+}
+
+// fragBuild accumulates one morsel fragment while operators lower into
+// it: f is the fragment under construction, srcs/caps are the OUTER
+// plan variables feeding its Params/Caps (in order), capIdx dedups
+// captures so a value used by several operators rides in once.
+type fragBuild struct {
+	f      *mal.Fragment
+	srcs   []int
+	caps   []int
+	capIdx map[int]int
+}
+
+// forceMorsel opens a fragment over a morselable scan: one fragment
+// parameter per bound column, typed like the outer variable. A rel
+// whose fragment is already open passes through.
+func (c *compiler) forceMorsel(r rel) rel {
+	if r.frag != nil || !r.morselable {
+		return r
+	}
+	fb := &fragBuild{f: &mal.Fragment{Plan: mal.NewPlan("")}, capIdx: map[int]int{}}
+	out := rel{schema: r.schema, frag: fb}
+	for _, v := range r.cols {
+		fv := fb.f.Plan.NewVar(c.plan.VarType(v))
+		fb.f.Params = append(fb.f.Params, fv)
+		fb.srcs = append(fb.srcs, v)
+		out.cols = append(out.cols, fv)
+	}
+	return out
+}
+
+// capture imports an outer value (a hash table, a packed build column)
+// into the fragment as a Cap, deduplicating repeat captures.
+func (c *compiler) capture(fb *fragBuild, outer int) int {
+	if fv, ok := fb.capIdx[outer]; ok {
+		return fv
+	}
+	fv := fb.f.Plan.NewVar(c.plan.VarType(outer))
+	fb.f.Caps = append(fb.f.Caps, fv)
+	fb.caps = append(fb.caps, outer)
+	fb.capIdx[outer] = fv
+	return fv
+}
+
+// inFrag runs fn with the compiler's emission target swapped to the
+// fragment's plan, so every lowering helper (applyFilter, exprVar,
+// subgroupChain, ...) works unchanged inside fragments.
+func (c *compiler) inFrag(fb *fragBuild, fn func() error) error {
+	saved := c.plan
+	c.plan = fb.f.Plan
+	err := fn()
+	c.plan = saved
+	return err
+}
+
+// closeFragVars registers the fragment with outs as its per-morsel
+// exports and emits the outer mat.morsel instruction:
+//
+//	rets := mat.morsel(fragID, nSrc, nCap, src..., cap...)
+//
+// returning one outer variable per export, holding the exports packed
+// across morsels in morsel order.
+func (c *compiler) closeFragVars(fb *fragBuild, outs []int) []int {
+	fb.f.Outs = append([]int(nil), outs...)
+	id := len(c.plan.Frags)
+	c.plan.Frags = append(c.plan.Frags, fb.f)
+	args := []mal.Arg{
+		mal.ConstOf(mal.Int64(int64(id))),
+		mal.ConstOf(mal.Int64(int64(len(fb.srcs)))),
+		mal.ConstOf(mal.Int64(int64(len(fb.caps)))),
+	}
+	for _, v := range fb.srcs {
+		args = append(args, mal.VarArg(v))
+	}
+	for _, v := range fb.caps {
+		args = append(args, mal.VarArg(v))
+	}
+	rets := make([]int, len(outs))
+	for i, fv := range outs {
+		rets[i] = c.plan.NewVar(fb.f.Plan.VarType(fv))
+	}
+	c.plan.Emit("mat", "morsel", rets, args...)
+	return rets
+}
+
+// closeFrag closes a morsel rel: its fragment columns become the
+// fragment's exports and the rel continues packed on the mat.morsel
+// returns.
+func (c *compiler) closeFrag(r rel) rel {
+	return rel{schema: r.schema, cols: c.closeFragVars(r.frag, r.cols)}
 }
 
 // operand is a compiled scalar-or-column expression: either a MAL
@@ -243,6 +361,10 @@ func (c *compiler) bindScan(s *algebra.Scan) rel {
 // take the bound columns directly with no mitosis overhead at all.
 func (c *compiler) lowerScan(s *algebra.Scan) rel {
 	base := c.bindScan(s)
+	if c.opt.Morsel {
+		base.morselable = true
+		return base
+	}
 	if c.opt.Partitions <= 1 {
 		return base
 	}
@@ -257,6 +379,16 @@ func (c *compiler) lowerFilter(f *algebra.Filter) (rel, error) {
 	in, err := c.lower(f.Input)
 	if err != nil {
 		return rel{}, err
+	}
+	if in.morselish() {
+		in = c.forceMorsel(in)
+		out := rel{frag: in.frag}
+		err := c.inFrag(in.frag, func() error {
+			fr, ferr := c.applyFilter(in, f.Pred)
+			out.schema, out.cols = fr.schema, fr.cols
+			return ferr
+		})
+		return out, err
 	}
 	if !in.partitioned() {
 		return c.applyFilter(in, f.Pred)
@@ -590,6 +722,9 @@ func (c *compiler) lowerJoin(j *algebra.Join) (rel, error) {
 		return rel{}, err
 	}
 	r = c.packed(r)
+	if l.morselish() {
+		return c.lowerMorselJoin(j, c.forceMorsel(l), r)
+	}
 	if l.partitioned() {
 		return c.lowerPartitionedJoin(j, c.forcePartitioned(l), r), nil
 	}
@@ -637,6 +772,40 @@ func (c *compiler) lowerPartitionedJoin(j *algebra.Join, l, r rel) rel {
 	return out
 }
 
+// lowerMorselJoin is the morsel form of the build-once/probe-per-slice
+// join: the hash is built once in the outer plan over the packed build
+// key, then the hash table and the packed build columns are captured
+// into the probe side's fragment, where every morsel runs its own
+// algebra.hashprobe + projections. Morsel probe outputs concatenated in
+// morsel order equal the packed join's probe-order output exactly, so
+// the result stays in the morsel form.
+func (c *compiler) lowerMorselJoin(j *algebra.Join, l, r rel) (rel, error) {
+	h := c.plan.Emit1("algebra", "hashbuild", mal.THash, mal.VarArg(r.cols[j.RKey]))
+	fb := l.frag
+	hv := c.capture(fb, h)
+	rcaps := make([]int, len(r.cols))
+	for i, v := range r.cols {
+		rcaps[i] = c.capture(fb, v)
+	}
+	out := rel{schema: j.Schema(), frag: fb}
+	err := c.inFrag(fb, func() error {
+		lo := c.plan.NewVar(mal.TBATOID)
+		ro := c.plan.NewVar(mal.TBATOID)
+		c.plan.Emit("algebra", "hashprobe", []int{lo, ro},
+			mal.VarArg(l.cols[j.LKey]), mal.VarArg(hv))
+		for i, v := range l.cols {
+			out.cols = append(out.cols, c.plan.Emit1("algebra", "leftjoin",
+				kindToBAT(l.schema[i].Kind), mal.VarArg(lo), mal.VarArg(v)))
+		}
+		for i, v := range rcaps {
+			out.cols = append(out.cols, c.plan.Emit1("algebra", "leftjoin",
+				kindToBAT(r.schema[i].Kind), mal.VarArg(ro), mal.VarArg(v)))
+		}
+		return nil
+	})
+	return out, err
+}
+
 var aggrFunc = map[storage.AggrKind]string{
 	storage.AggrSum:   "sum",
 	storage.AggrCount: "count",
@@ -664,6 +833,9 @@ func (c *compiler) lowerGroupAgg(g *algebra.GroupAgg) (rel, error) {
 	in, err := c.lower(g.Input)
 	if err != nil {
 		return rel{}, err
+	}
+	if in.morselish() && mergeable(g.Aggs) {
+		return c.lowerMorselGroupAgg(g, c.forceMorsel(in))
 	}
 	if in.partitioned() && mergeable(g.Aggs) {
 		return c.lowerMergedGroupAgg(g, c.forcePartitioned(in))
@@ -824,20 +996,126 @@ func (c *compiler) lowerMergedGroupAgg(g *algebra.GroupAgg, in rel) (rel, error)
 	for j := range g.Keys {
 		packedKeys[j] = c.packCol(keyParts[j], kindToBAT(g.Keys[j].Kind()))
 	}
+	packedAggs := make([]int, len(g.Aggs))
+	for ai, a := range g.Aggs {
+		packedAggs[ai] = c.packCol(aggParts[ai], partialType(a))
+	}
+	out.cols = c.combineGroupedPartials(g, packedKeys, packedAggs)
+	return out, nil
+}
+
+// combineGroupedPartials is the mergetable recombination stage shared
+// by the static-slice and morsel group-by paths: regroup the packed
+// per-slice (or per-morsel) group representatives and recombine the
+// packed partials under the merged grouping — partial counts and sums
+// summed, partial minima/maxima re-minimized.
+func (c *compiler) combineGroupedPartials(g *algebra.GroupAgg, packedKeys, packedAggs []int) []int {
+	var cols []int
 	groups, extents := c.subgroupChain(packedKeys)
 	for j, pk := range packedKeys {
-		out.cols = append(out.cols, c.plan.Emit1("algebra", "leftjoin",
+		cols = append(cols, c.plan.Emit1("algebra", "leftjoin",
 			kindToBAT(g.Keys[j].Kind()), mal.VarArg(extents), mal.VarArg(pk)))
 	}
 	for ai, a := range g.Aggs {
-		packed := c.packCol(aggParts[ai], partialType(a))
 		fn := aggrFunc[a.Func]
 		if a.CountStar || a.Func == storage.AggrCount || a.Func == storage.AggrSum {
 			fn = "sum" // partial counts and sums recombine by summation
 		}
-		out.cols = append(out.cols, c.plan.Emit1("aggr", "sub"+fn, partialType(a),
-			mal.VarArg(packed), mal.VarArg(groups), mal.VarArg(extents)))
+		cols = append(cols, c.plan.Emit1("aggr", "sub"+fn, partialType(a),
+			mal.VarArg(packedAggs[ai]), mal.VarArg(groups), mal.VarArg(extents)))
 	}
+	return cols
+}
+
+// lowerMorselGroupAgg is the morsel aggregation path: the fragment
+// pre-aggregates each morsel (local grouping, one representative row
+// and one partial per aggregate per local group), mat.morsel packs the
+// per-morsel partials in morsel order, and the combine stage is the
+// same mergetable recombination the static path uses. Global
+// aggregates mirror mergedGlobalAggr, including the empty-partial
+// guard for min/max.
+func (c *compiler) lowerMorselGroupAgg(g *algebra.GroupAgg, in rel) (rel, error) {
+	out := rel{schema: g.Schema()}
+	fb := in.frag
+
+	if len(g.Keys) == 0 {
+		// One partial (plus a row count guarding min/max) per aggregate
+		// per morsel; empty morsels contribute zero-valued placeholders
+		// with count 0, exactly like empty static slices.
+		var fouts []int
+		guarded := make([]bool, len(g.Aggs))
+		err := c.inFrag(fb, func() error {
+			for ai, a := range g.Aggs {
+				if a.CountStar {
+					fouts = append(fouts, c.plan.Emit1("aggr", "count", mal.TBATInt,
+						mal.VarArg(in.cols[0])))
+					continue
+				}
+				av, err := c.exprVar(in, a.Arg)
+				if err != nil {
+					return err
+				}
+				fouts = append(fouts, c.plan.Emit1("aggr", aggrFunc[a.Func],
+					partialType(a), mal.VarArg(av)))
+				if a.Func == storage.AggrMin || a.Func == storage.AggrMax {
+					guarded[ai] = true
+					fouts = append(fouts, c.plan.Emit1("aggr", "count", mal.TBATInt,
+						mal.VarArg(av)))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return rel{}, err
+		}
+		packed := c.closeFragVars(fb, fouts)
+		i := 0
+		for ai, a := range g.Aggs {
+			pv := packed[i]
+			i++
+			if !guarded[ai] {
+				// Partial counts and sums both recombine by summation.
+				out.cols = append(out.cols, c.plan.Emit1("aggr", "sum",
+					partialType(a), mal.VarArg(pv)))
+				continue
+			}
+			cv := packed[i]
+			i++
+			live := c.plan.Emit1("algebra", "thetaselect", mal.TBATOID,
+				mal.VarArg(cv), mal.ConstOf(mal.Str(">")), mal.ConstOf(mal.Int64(0)))
+			liveVals := c.plan.Emit1("algebra", "leftjoin", partialType(a),
+				mal.VarArg(live), mal.VarArg(pv))
+			out.cols = append(out.cols, c.plan.Emit1("aggr", aggrFunc[a.Func],
+				partialType(a), mal.VarArg(liveVals)))
+		}
+		return out, nil
+	}
+
+	var fouts []int
+	err := c.inFrag(fb, func() error {
+		kvs, err := c.keyVars(in, g.Keys)
+		if err != nil {
+			return err
+		}
+		groups, extents := c.subgroupChain(kvs)
+		for j, kv := range kvs {
+			fouts = append(fouts, c.plan.Emit1("algebra", "leftjoin",
+				kindToBAT(g.Keys[j].Kind()), mal.VarArg(extents), mal.VarArg(kv)))
+		}
+		for _, a := range g.Aggs {
+			pv, err := c.subAggr(in, a, groups, extents)
+			if err != nil {
+				return err
+			}
+			fouts = append(fouts, pv)
+		}
+		return nil
+	})
+	if err != nil {
+		return rel{}, err
+	}
+	packed := c.closeFragVars(fb, fouts)
+	out.cols = c.combineGroupedPartials(g, packed[:len(g.Keys)], packed[len(g.Keys):])
 	return out, nil
 }
 
@@ -914,6 +1192,21 @@ func (c *compiler) lowerProject(p *algebra.Project) (rel, error) {
 	if err != nil {
 		return rel{}, err
 	}
+	if in.morselish() {
+		in = c.forceMorsel(in)
+		out := rel{schema: p.Schema(), frag: in.frag}
+		err := c.inFrag(in.frag, func() error {
+			for _, e := range p.Exprs {
+				v, verr := c.exprVar(in, e)
+				if verr != nil {
+					return verr
+				}
+				out.cols = append(out.cols, v)
+			}
+			return nil
+		})
+		return out, err
+	}
 	if in.partitioned() {
 		in = c.forcePartitioned(in)
 		out := rel{schema: p.Schema(), parts: make([][]int, len(in.parts))}
@@ -950,7 +1243,21 @@ func (c *compiler) lowerDistinct(d *algebra.Distinct) (rel, error) {
 	if err != nil {
 		return rel{}, err
 	}
-	if in.partitioned() {
+	if in.morselish() {
+		// Morsel-local dedup first (the packed dedup then runs over the
+		// per-morsel survivors); first-appearance order of the packed
+		// survivors equals first-appearance order of the full relation.
+		in = c.forceMorsel(in)
+		var fouts []int
+		if err := c.inFrag(in.frag, func() error {
+			_, extents := c.subgroupChain(in.cols)
+			fouts = c.projectAll(in, extents).cols
+			return nil
+		}); err != nil {
+			return rel{}, err
+		}
+		in = rel{schema: in.schema, cols: c.closeFragVars(in.frag, fouts)}
+	} else if in.partitioned() {
 		in = c.forcePartitioned(in)
 		dp := rel{schema: in.schema, parts: make([][]int, len(in.parts))}
 		for p := range in.parts {
@@ -979,6 +1286,14 @@ func (c *compiler) lowerSortTopK(s *algebra.Sort, topK int64) (rel, error) {
 	in, err := c.lower(s.Input)
 	if err != nil {
 		return rel{}, err
+	}
+	if in.morselish() {
+		// Sorting needs the whole relation: close the fragment (its
+		// packed output is in sequential row order, so results stay
+		// byte-identical) and hand the materialized columns to the
+		// static slice/sort/kmerge machinery unchanged.
+		in = c.packed(in)
+		in.sliceable = c.opt.Partitions > 1
 	}
 	if in.partitioned() {
 		in = c.forcePartitioned(in)

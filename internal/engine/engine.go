@@ -97,8 +97,20 @@ func (e *Engine) resolve(plan *mal.Plan) ([]Kernel, error) {
 // Options controls one plan execution.
 type Options struct {
 	// Workers is the dataflow parallelism; <= 1 selects sequential
-	// interpretation (every instruction on thread 0).
+	// interpretation (every instruction on thread 0). Morsel fragments
+	// (mat.morsel) also fan out across this many pulling workers.
 	Workers int
+	// MorselRows is the morsel size mat.morsel instructions use; <= 0
+	// selects DefaultMorselRows. Plans without fragments ignore it.
+	MorselRows int
+	// Emit, when set, receives result batches as the run produces them.
+	// On a streamable plan (every result column computed by one
+	// mat.morsel instruction) Emit is called once per non-empty morsel,
+	// in morsel order, while the run is still executing; otherwise it
+	// is called exactly once with the final result. The BATs passed are
+	// owned by the run — consume or copy before returning. An Emit
+	// error aborts the run.
+	Emit func(names []string, cols []*storage.BAT) error
 	// Profiler, when set, receives start/done events per instruction.
 	Profiler *profiler.Profiler
 }
@@ -113,6 +125,19 @@ type Context struct {
 	mu      sync.Mutex // guards results
 	results []*Result
 	final   *Result
+
+	// Morsel execution state (see morsel.go): the run's context so
+	// morsel workers observe cancellation between morsels, the
+	// worker/morsel-size options, and — when a streaming sink is
+	// attached — the emission plumbing resolved by streamInfo.
+	cctx       context.Context
+	workers    int
+	morselRows int
+	emit       func(names []string, cols []*storage.BAT) error
+	streamPC   int
+	emitNames  []string
+	emitOrder  []int
+	streamed   atomic.Bool
 }
 
 // value returns the runtime value of an argument.
@@ -227,6 +252,14 @@ func (e *Engine) RunContext(cctx context.Context, plan *mal.Plan, opt Options) (
 	if err != nil {
 		return nil, err
 	}
+	ctx.cctx = cctx
+	ctx.workers = opt.Workers
+	ctx.morselRows = opt.MorselRows
+	ctx.streamPC = -1
+	if opt.Emit != nil {
+		ctx.emit = opt.Emit
+		ctx.streamPC, ctx.emitOrder, ctx.emitNames = streamInfo(plan)
+	}
 	if opt.Profiler != nil {
 		opt.Profiler.Reset()
 	}
@@ -237,6 +270,13 @@ func (e *Engine) RunContext(cctx context.Context, plan *mal.Plan, opt Options) (
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Non-streamable plans (and plans without fragments) still serve a
+	// streaming consumer: one batch, the final result.
+	if opt.Emit != nil && !ctx.streamed.Load() && ctx.final != nil {
+		if err := opt.Emit(ctx.final.Names, ctx.final.Cols); err != nil {
+			return nil, fmt.Errorf("engine: emit: %w", err)
+		}
 	}
 	return ctx.final, nil
 }

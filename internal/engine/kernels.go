@@ -26,6 +26,7 @@ func registerKernels(e *Engine) {
 	e.Register("mat", "slice", kMatSlice)
 	e.Register("mat", "pack", kMatPack)
 	e.Register("mat", "kmerge", kKMerge)
+	e.Register("mat", "morsel", kMorsel)
 	e.Register("bat", "mirror", kMirror)
 
 	e.Register("algebra", "thetaselect", kThetaSelect)

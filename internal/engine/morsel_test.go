@@ -1,0 +1,176 @@
+// Engine-level tests of the morsel scheduler (mat.morsel): dynamic
+// cursor claiming matches sequential execution, workers observe
+// cancellation between morsels, and streamable plans emit completed
+// morsels before the run returns.
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"stethoscope/internal/algebra"
+	"stethoscope/internal/compiler"
+	"stethoscope/internal/mal"
+	"stethoscope/internal/sql"
+	"stethoscope/internal/storage"
+)
+
+// compileMorsel lowers q through the morsel-driven path (fragments +
+// mat.morsel) instead of static mitosis.
+func compileMorsel(t testing.TB, q string, parts int) *mal.Plan {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	tree, err := algebra.Bind(stmt, testCat)
+	if err != nil {
+		t.Fatalf("Bind(%q): %v", q, err)
+	}
+	plan, err := compiler.Compile(tree, q, compiler.Options{Partitions: parts, Morsel: true})
+	if err != nil {
+		t.Fatalf("Compile(%q, morsel): %v", q, err)
+	}
+	return plan
+}
+
+// TestMorselMatchesSequential runs morsel plans at several worker
+// counts and morsel sizes against the sequential lowering.
+func TestMorselMatchesSequential(t *testing.T) {
+	queries := []string{
+		"select l_tax from lineitem where l_partkey=1",
+		"select count(*) as n from lineitem, orders where l_orderkey = o_orderkey",
+		"select l_returnflag, sum(l_quantity) as s, count(*) as n from lineitem where l_quantity > 10 group by l_returnflag order by l_returnflag",
+		"select distinct l_shipmode from lineitem order by l_shipmode",
+		"select l_orderkey, l_extendedprice from lineitem order by l_extendedprice desc limit 7",
+	}
+	eng := New(testCat)
+	for _, q := range queries {
+		seq, err := eng.Run(compileQ(t, q, 1), Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", q, err)
+		}
+		mplan := compileMorsel(t, q, 4)
+		for _, workers := range []int{1, 4} {
+			for _, morsel := range []int{64, 1 << 20} {
+				res, err := eng.Run(mplan, Options{Workers: workers, MorselRows: morsel})
+				if err != nil {
+					t.Fatalf("%s: workers=%d morsel=%d: %v", q, workers, morsel, err)
+				}
+				if res.Rows() != seq.Rows() {
+					t.Fatalf("%s: workers=%d morsel=%d: rows %d != %d", q, workers, morsel, res.Rows(), seq.Rows())
+				}
+				for c := range seq.Cols {
+					for i := 0; i < seq.Rows(); i++ {
+						if !sameCell(res.Cols[c], seq.Cols[c], i) {
+							t.Fatalf("%s: workers=%d morsel=%d: col %d row %d differs", q, workers, morsel, c, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMorselCancelMidScan pins the between-morsels cancellation point:
+// cancel fires after the first morsel's rows are emitted, while the
+// scan cursor still has hundreds of morsels to hand out, and the run
+// must return context.Canceled instead of finishing the scan. The
+// companion TestDataflowCancelMidRun covers cancellation between outer
+// instructions; this covers cancellation inside one long mat.morsel.
+func TestMorselCancelMidScan(t *testing.T) {
+	plan := compileMorsel(t, "select l_tax from lineitem where l_quantity > 0", 1)
+	eng := New(testCat)
+	for _, workers := range []int{1, 4} {
+		cctx, cancel := context.WithCancel(context.Background())
+		emits := 0
+		_, err := eng.RunContext(cctx, plan, Options{
+			Workers:    workers,
+			MorselRows: 16, // ~375 morsels over the SF 0.001 lineitem
+			Emit: func(names []string, cols []*storage.BAT) error {
+				emits++
+				if emits == 1 {
+					cancel()
+				}
+				return nil
+			},
+		})
+		cancel()
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Under one worker the between-morsels check is the only
+		// cancellation point, so the error must name it; under several,
+		// the dataflow scheduler's own check may win the race.
+		if workers == 1 && !strings.Contains(err.Error(), "between morsels") {
+			t.Errorf("workers=1: err = %v, want the between-morsels cancellation point", err)
+		}
+	}
+}
+
+// TestMorselEmitsBeforeReturn is the engine half of the streaming
+// contract: a streamable plan hands completed morsels to Emit while the
+// run is still executing — strictly before RunContext returns — in
+// morsel (= row) order, and the final result still materializes.
+func TestMorselEmitsBeforeReturn(t *testing.T) {
+	q := "select l_orderkey from lineitem where l_quantity > 10"
+	plan := compileMorsel(t, q, 1)
+	eng := New(testCat)
+	var (
+		batches  int
+		streamed []int64
+		returned bool
+	)
+	res, err := eng.RunContext(context.Background(), plan, Options{
+		Workers:    4,
+		MorselRows: 256,
+		Emit: func(names []string, cols []*storage.BAT) error {
+			if returned {
+				t.Error("Emit called after RunContext returned")
+			}
+			if len(names) != 1 || names[0] != "l_orderkey" {
+				t.Errorf("Emit names = %v", names)
+			}
+			batches++
+			for i := 0; i < cols[0].Len(); i++ {
+				streamed = append(streamed, cols[0].IntAt(i))
+			}
+			return nil
+		},
+	})
+	returned = true
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches < 2 {
+		t.Fatalf("streamable plan emitted %d batches, want incremental progress (>= 2)", batches)
+	}
+	if len(streamed) != res.Rows() {
+		t.Fatalf("streamed %d rows, final result has %d", len(streamed), res.Rows())
+	}
+	for i := range streamed {
+		if streamed[i] != res.Cols[0].IntAt(i) {
+			t.Fatalf("row %d: streamed %d, materialized %d (morsel order broken)", i, streamed[i], res.Cols[0].IntAt(i))
+		}
+	}
+}
+
+// TestMorselEmitErrorAbortsRun: a failing consumer stops the run and
+// surfaces the consumer's error.
+func TestMorselEmitErrorAbortsRun(t *testing.T) {
+	plan := compileMorsel(t, "select l_orderkey from lineitem", 1)
+	eng := New(testCat)
+	boom := errors.New("consumer full")
+	_, err := eng.RunContext(context.Background(), plan, Options{
+		Workers:    2,
+		MorselRows: 64,
+		Emit: func(names []string, cols []*storage.BAT) error {
+			return boom
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the consumer's error", err)
+	}
+}

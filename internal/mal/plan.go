@@ -57,6 +57,11 @@ type Plan struct {
 	Vars   []Variable
 	Instrs []*Instr
 
+	// Frags are the morsel fragments referenced by mat.morsel
+	// instructions, indexed by fragment id. Fragments are immutable
+	// once the compiler finishes; optimizer clones share them.
+	Frags []*Fragment
+
 	// stmts caches the rendered statement text per PC for the
 	// execution hot path; see CachedStmt.
 	stmtsOnce sync.Once
@@ -70,6 +75,28 @@ type Plan struct {
 
 // NewPlan returns an empty plan for the given source query text.
 func NewPlan(query string) *Plan { return &Plan{Query: query} }
+
+// Fragment is a per-morsel sub-plan: the instruction chain a morsel
+// worker runs over one slice of the driver table (filter, project,
+// hash-probe, partial aggregate) before the combine stage materializes.
+// Fragments are referenced from the outer plan by a mat.morsel
+// instruction carrying the fragment id as its first constant argument.
+//
+// A fragment's variable table is separate from the outer plan's.
+// Params and Caps are fragment variable ids with no defining
+// instruction — the morsel scheduler presets them before running the
+// fragment's instructions: Params receive the current morsel's slice of
+// each source column (in the morsel instruction's source-argument
+// order), Caps receive whole outer values captured once per run (hash
+// tables, packed build sides). Outs are the fragment variables exported
+// per morsel; the scheduler packs them across morsels, in morsel order,
+// into the morsel instruction's return variables.
+type Fragment struct {
+	Plan   *Plan
+	Params []int
+	Caps   []int
+	Outs   []int
+}
 
 // NewVar appends a fresh variable of type t and returns its index. The
 // variable is named X_<index> in MAL notation.
@@ -324,6 +351,16 @@ func (p *Plan) String() string {
 		b.WriteByte('\n')
 	}
 	b.WriteString("end user.main;\n")
+	for id, f := range p.Frags {
+		fmt.Fprintf(&b, "fragment %d (params=%d, caps=%d, outs=%d);\n",
+			id, len(f.Params), len(f.Caps), len(f.Outs))
+		for _, in := range f.Plan.Instrs {
+			b.WriteString("    ")
+			b.WriteString(f.Plan.StmtString(in))
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "end fragment %d;\n", id)
+	}
 	return b.String()
 }
 
@@ -332,6 +369,7 @@ func (p *Plan) String() string {
 // display.
 func (p *Plan) Clone() *Plan {
 	q := &Plan{Query: p.Query, Vars: append([]Variable(nil), p.Vars...)}
+	q.Frags = append([]*Fragment(nil), p.Frags...)
 	q.Instrs = make([]*Instr, len(p.Instrs))
 	for i, in := range p.Instrs {
 		cp := &Instr{

@@ -38,6 +38,12 @@ type Key struct {
 	// (stethoscope.Auto) as its own key value: the resolved fan-out of
 	// an auto compilation lives in Entry.Partitions.
 	Partitions int
+	// Morsel selects the morsel-driven lowering, which emits a
+	// different plan shape (fragments + mat.morsel) than the static
+	// mitosis lowering for the same SQL and partition count. The morsel
+	// size is a runtime engine option, not part of the key: changing it
+	// never recompiles.
+	Morsel bool
 	// Passes names the optimizer pipeline, e.g. "cse,matfold,deadcode".
 	Passes string
 }
@@ -57,6 +63,12 @@ type Entry struct {
 	// (empty for explicit partition counts). Memoized here so cache
 	// hits still report the reason in Result.Stats and the history.
 	TuneReason string
+	// Rows memoizes the bound tree's driver rows (algebra.DriverRows)
+	// for compilations that need a per-run adaptive resolution after
+	// the cache hit — the Auto morsel size is chosen at execution time
+	// from these rows without re-binding the query. Zero when the
+	// compilation never measured them.
+	Rows int
 	// Aux memoizes derived per-plan artifacts (e.g. the dot export the
 	// history store records per run). It lives and dies with the cache
 	// entry, so memoized artifacts never outlive their plan. Fill it

@@ -44,6 +44,11 @@ type Compiled struct {
 	Partitions int
 	TuneReason string
 	Cached     bool
+	// Rows is the bound tree's driver-row count (algebra.DriverRows),
+	// measured when the compilation needed it (Auto partitions or
+	// morsel mode) and memoized through the cache; ResolveMorsel sizes
+	// Auto morsels from it at execution time.
+	Rows int
 }
 
 // ResolveExec applies a session's worker setting to this compilation:
@@ -57,6 +62,24 @@ func (c Compiled) ResolveExec(requestedWorkers int) (workers int, autoTuned bool
 	workers, wreason := adaptive.ResolveWorkers(requestedWorkers, c.Partitions)
 	autoTuned = c.TuneReason != "" || requestedWorkers == adaptive.Auto
 	return workers, autoTuned, adaptive.JoinReasons(c.TuneReason, wreason)
+}
+
+// ResolveMorsel turns a session's morsel setting into the engine's
+// MorselRows option: 0 means morsel mode off (the plan was compiled
+// without fragments and the option is ignored anyway), Auto sizes the
+// morsel from the compiled plan's driver rows, and explicit sizes pass
+// through clamped. Shared by the facade Exec/Stream paths and the
+// server QUERY path so the recorded resolutions can never diverge.
+func (c Compiled) ResolveMorsel(requested int) (morselRows int, autoTuned bool, reason string) {
+	switch {
+	case requested == 0:
+		return 0, false, ""
+	case requested == adaptive.Auto:
+		m, r := adaptive.MorselRowsFor(c.Rows, adaptive.Procs())
+		return m, true, r
+	default:
+		return adaptive.Clamp(requested), false, ""
+	}
 }
 
 // ResolvePartitions turns an Auto partition request into a concrete
@@ -83,12 +106,12 @@ func ResolvePartitions(cat *storage.Catalog, requested int, tree algebra.Node) (
 // executions and must be treated as immutable; Aux memoizes derived
 // artifacts (the dot export the history store records) across every
 // session sharing the entry.
-func (p *Planner) Compile(query string, partitions int) (Compiled, error) {
-	key := plancache.Key{SQL: query, Partitions: partitions, Passes: p.PassSpec}
+func (p *Planner) Compile(query string, partitions int, morsel bool) (Compiled, error) {
+	key := plancache.Key{SQL: query, Partitions: partitions, Morsel: morsel, Passes: p.PassSpec}
 	if p.Cache != nil {
 		if e, ok := p.Cache.Get(key); ok {
 			return Compiled{Plan: e.Plan, Opt: e.Opt, Aux: e.Aux,
-				Partitions: e.Partitions, TuneReason: e.TuneReason, Cached: true}, nil
+				Partitions: e.Partitions, TuneReason: e.TuneReason, Rows: e.Rows, Cached: true}, nil
 		}
 	}
 	stmt, err := sql.Parse(query)
@@ -99,8 +122,18 @@ func (p *Planner) Compile(query string, partitions int) (Compiled, error) {
 	if err != nil {
 		return Compiled{}, fmt.Errorf("bind: %w", err)
 	}
-	resolved, reason := ResolvePartitions(p.Cat, partitions, tree)
-	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: resolved})
+	// Driver rows feed the Auto partition fan-out and, in morsel mode,
+	// the per-run Auto morsel sizing; measure them once and memoize.
+	var rows int
+	resolved, reason := partitions, ""
+	if partitions == adaptive.Auto || morsel {
+		var shape string
+		rows, shape = algebra.DriverRows(tree, p.Cat)
+		if partitions == adaptive.Auto {
+			resolved, reason = adaptive.PartitionsFor(rows, adaptive.Procs(), shape)
+		}
+	}
+	plan, err := compiler.Compile(tree, stmt.Text, compiler.Options{Partitions: resolved, Morsel: morsel})
 	if err != nil {
 		return Compiled{}, fmt.Errorf("compile: %w", err)
 	}
@@ -108,11 +141,11 @@ func (p *Planner) Compile(query string, partitions int) (Compiled, error) {
 	if err != nil {
 		return Compiled{}, fmt.Errorf("optimize: %w", err)
 	}
-	c := Compiled{Plan: plan, Opt: stats, Partitions: resolved, TuneReason: reason}
+	c := Compiled{Plan: plan, Opt: stats, Partitions: resolved, TuneReason: reason, Rows: rows}
 	if p.Cache != nil {
 		c.Aux = &plancache.Aux{}
 		p.Cache.Put(key, plancache.Entry{Plan: plan, Opt: stats, Aux: c.Aux,
-			Partitions: resolved, TuneReason: reason})
+			Partitions: resolved, TuneReason: reason, Rows: rows})
 	}
 	return c, nil
 }

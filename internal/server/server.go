@@ -214,9 +214,13 @@ type session struct {
 	srv        *Server
 	partitions int
 	workers    int
-	filter     profiler.Filter
-	streamer   *netproto.UDPStreamer
-	batcher    *profiler.Batcher
+	// morsel selects the morsel-driven lowering when non-zero: a
+	// concrete morsel size, or adaptive.Auto for per-query sizing. Zero
+	// (the default) keeps the static mitosis lowering.
+	morsel   int
+	filter   profiler.Filter
+	streamer *netproto.UDPStreamer
+	batcher  *profiler.Batcher
 }
 
 // traceBatch configures the per-session event batching on the UDP
@@ -318,28 +322,37 @@ func (sess *session) dispatch(w *bufio.Writer, line string) {
 func (sess *session) cmdSet(w *bufio.Writer, rest string) {
 	fields := strings.Fields(rest)
 	if len(fields) != 2 {
-		fmt.Fprintln(w, "err usage: SET <partitions|workers> <n|auto>")
+		fmt.Fprintln(w, "err usage: SET <partitions|workers|morsel> <n|auto>")
 		return
 	}
 	// "auto" is the only spelling of adaptive sizing on the wire;
 	// numeric values — including -1, which the Go API reserves as the
 	// Auto sentinel — clamp through the shared rule (below 1 becomes
 	// 1), so a session can never compile under an out-of-range setting
-	// nor switch modes by accident.
+	// nor switch modes by accident. "SET morsel off" is the one
+	// non-numeric extra: it returns the session to the static lowering.
+	setting, value := strings.ToLower(fields[0]), fields[1]
+	if setting == "morsel" && strings.EqualFold(value, "off") {
+		sess.morsel = 0
+		fmt.Fprintln(w, "ok")
+		return
+	}
 	n := adaptive.Auto
-	if !strings.EqualFold(fields[1], "auto") {
-		v, err := strconv.Atoi(fields[1])
+	if !strings.EqualFold(value, "auto") {
+		v, err := strconv.Atoi(value)
 		if err != nil {
-			fmt.Fprintf(w, "err bad value %q\n", fields[1])
+			fmt.Fprintf(w, "err bad value %q\n", value)
 			return
 		}
 		n = adaptive.Clamp(v)
 	}
-	switch strings.ToLower(fields[0]) {
+	switch setting {
 	case "partitions":
 		sess.partitions = n
 	case "workers":
 		sess.workers = n
+	case "morsel":
+		sess.morsel = n
 	default:
 		fmt.Fprintf(w, "err unknown setting %q\n", fields[0])
 		return
@@ -422,7 +435,7 @@ func (sess *session) cmdFilter(w *bufio.Writer, rest string) {
 // pre-normalized by cmdSet; cached plans are shared read-only between
 // sessions executing concurrently.
 func (sess *session) compile(query string) (planner.Compiled, error) {
-	return sess.srv.planner.Compile(query, sess.partitions)
+	return sess.srv.planner.Compile(query, sess.partitions, sess.morsel != 0)
 }
 
 // cmdAlgebra prints the bound relational-algebra tree, the stage between
@@ -483,6 +496,9 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 	}
 	plan := c.Plan
 	workers, autoTuned, tuneReason := c.ResolveExec(sess.workers)
+	morselRows, mauto, mreason := c.ResolveMorsel(sess.morsel)
+	autoTuned = autoTuned || mauto
+	tuneReason = adaptive.JoinReasons(tuneReason, mreason)
 	var dotText string
 	if sess.streamer != nil || srv.history != nil {
 		dotText = plancache.DotText(plan, c.Aux)
@@ -533,8 +549,9 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 	}
 	start := time.Now()
 	res, err := srv.eng.RunContext(srv.ctx, plan, engine.Options{
-		Workers:  workers,
-		Profiler: prof,
+		Workers:    workers,
+		MorselRows: morselRows,
+		Profiler:   prof,
 	})
 	elapsed := time.Since(start)
 	if hb != nil {

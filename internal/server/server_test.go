@@ -517,6 +517,34 @@ func TestSetAutoAndClamping(t *testing.T) {
 	}
 }
 
+// TestSetMorsel: sessions toggle the morsel lowering per connection —
+// numeric sizes, "auto", and "off" all round-trip, query results are
+// unchanged under every setting, and garbage still errors.
+func TestSetMorsel(t *testing.T) {
+	srv := startServer(t)
+	c := dialServer(t, srv)
+	q := "QUERY select l_returnflag, sum(l_quantity) as s from lineitem group by l_returnflag order by l_returnflag"
+	_, want, err := c.Command(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range []string{"SET morsel 512", "SET morsel auto", "SET morsel 0", "SET morsel off"} {
+		if _, _, err := c.Command(set); err != nil {
+			t.Fatalf("%s: %v", set, err)
+		}
+		_, got, err := c.Command(q)
+		if err != nil {
+			t.Fatalf("QUERY under %q: %v", set, err)
+		}
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("results changed under %q:\n%s\nwant:\n%s", set, strings.Join(got, "\n"), strings.Join(want, "\n"))
+		}
+	}
+	if _, _, err := c.Command("SET morsel tiny"); err == nil {
+		t.Error("non-numeric SET morsel accepted")
+	}
+}
+
 // TestServerDefaultsAreAdaptive: a fresh session executes QUERY without
 // any SET and the tiny test catalog resolves to sequential execution —
 // the default is auto, not a fixed knob.

@@ -1,0 +1,150 @@
+// Facade-level tests of morsel-driven execution: results are
+// byte-identical to sequential execution across query shapes, morsel
+// sizes, and worker counts, and the ExecMorselRows option normalizes,
+// resolves, and records exactly like the PR 4 partition/worker options.
+package stethoscope_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"stethoscope"
+)
+
+// morselSweepQueries mirrors the persisted-dataset equality sweep
+// (persist_test.go) plus shapes the morsel lowering treats specially:
+// duplicate-key group-bys (partial-aggregate merge), empty results
+// (zero-row morsel placeholders), and a table smaller than one morsel.
+var morselSweepQueries = []string{
+	scalingQuery,
+	scalingJoinQuery,
+	scalingSortQuery,
+	"select count(*) as n from lineitem, orders where l_orderkey = o_orderkey",
+	"select distinct l_shipmode from lineitem order by l_shipmode",
+	"select n_name, r_name from nation, region where n_regionkey = r_regionkey order by n_name",
+	"select l_shipmode, count(*) as n from lineitem group by l_shipmode order by l_shipmode",
+	"select count(*) as n, min(l_quantity) as mn, max(l_quantity) as mx from lineitem where l_quantity < 0",
+	"select n_name from nation where n_regionkey = 1 order by n_name",
+}
+
+// TestMorselMatchesSequentialByteForByte: every query shape, rendered
+// through WriteTable, must be byte-identical between the sequential
+// lowering and the morsel lowering at 1/4/8 workers — including a
+// 64-row morsel that forces hundreds of cursor claims per scan.
+func TestMorselMatchesSequentialByteForByte(t *testing.T) {
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(0.005), stethoscope.WithSeed(42))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	for _, q := range morselSweepQueries {
+		want := tableString(t, db, q, stethoscope.ExecPartitions(1), stethoscope.ExecWorkers(1))
+		for _, workers := range []int{1, 4, 8} {
+			for _, morsel := range []int{64, stethoscope.Auto} {
+				got := tableString(t, db, q,
+					stethoscope.ExecMorselRows(morsel), stethoscope.ExecWorkers(workers))
+				if got != want {
+					t.Errorf("%s (workers=%d morsel=%d):\nmorsel:\n%s\nsequential:\n%s",
+						q, workers, morsel, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExecMorselRowsNormalized mirrors the ExecPartitions(0) regression
+// for the new knob: out-of-range morsel sizes clamp through the shared
+// rule before anything is recorded, and — the morsel size being a
+// runtime option, not a compile option — no second plan-cache entry
+// appears for any size.
+func TestExecMorselRowsNormalized(t *testing.T) {
+	db := openTestDB(t)
+	base, err := db.Exec(context.Background(), figure1Query, stethoscope.ExecMorselRows(512))
+	if err != nil {
+		t.Fatalf("Exec(morsel=512): %v", err)
+	}
+	if base.Stats.MorselRows != 512 {
+		t.Fatalf("Stats.MorselRows = %d, want 512", base.Stats.MorselRows)
+	}
+	for _, n := range []int{0, -3} {
+		res, err := db.Exec(context.Background(), figure1Query, stethoscope.ExecMorselRows(n))
+		if err != nil {
+			t.Fatalf("Exec(morsel=%d): %v", n, err)
+		}
+		if !res.Stats.CacheHit {
+			t.Errorf("Exec(morsel=%d) missed the cache: morsel size leaked into the plan key", n)
+		}
+		if res.Stats.MorselRows != 1 {
+			t.Errorf("Exec(morsel=%d) reports MorselRows=%d, want 1 (clamped)", n, res.Stats.MorselRows)
+		}
+	}
+	if got := db.Stats().Cache.Len; got != 1 {
+		t.Errorf("plan cache holds %d entries, want 1 (morsel sizes must share one plan)", got)
+	}
+	// The static and morsel lowerings are different plans: turning the
+	// mode on and off is exactly two entries.
+	if _, err := db.Exec(context.Background(), figure1Query); err != nil {
+		t.Fatalf("Exec(static): %v", err)
+	}
+	if got := db.Stats().Cache.Len; got != 2 {
+		t.Errorf("plan cache holds %d entries after static run, want 2 (mode is part of the key)", got)
+	}
+}
+
+// TestMorselAutoRecorded: ExecMorselRows(Auto) resolves to a concrete
+// size, flags the run auto-tuned, and carries the morsel=N note through
+// Stats and the durable history RunMeta.
+func TestMorselAutoRecorded(t *testing.T) {
+	db, err := stethoscope.Open(
+		stethoscope.WithScaleFactor(0.005), stethoscope.WithSeed(42),
+		stethoscope.WithHistory(t.TempDir()))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	res, err := db.Exec(context.Background(), figure1Query, stethoscope.ExecMorselRows(stethoscope.Auto))
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if res.Stats.MorselRows < 1 {
+		t.Fatalf("auto morsel resolved to %d", res.Stats.MorselRows)
+	}
+	if !res.Stats.AutoTuned {
+		t.Error("Stats.AutoTuned = false under ExecMorselRows(Auto)")
+	}
+	if !strings.Contains(res.Stats.TuneReason, "morsel=") {
+		t.Errorf("Stats.TuneReason = %q, want a morsel= note", res.Stats.TuneReason)
+	}
+	run, err := db.History().Get(res.Stats.RunID)
+	if err != nil {
+		t.Fatalf("run %d not in history: %v", res.Stats.RunID, err)
+	}
+	if !run.Info.AutoTuned || !strings.Contains(run.Info.TuneReason, "morsel=") {
+		t.Errorf("history RunMeta = %v %q, want the morsel resolution", run.Info.AutoTuned, run.Info.TuneReason)
+	}
+}
+
+// TestOpenValidatesMorselConfig: WithMorselRows validates like the
+// other Open knobs and, when given, becomes the Exec default.
+func TestOpenValidatesMorselConfig(t *testing.T) {
+	if _, err := stethoscope.Open(stethoscope.WithScaleFactor(0.005), stethoscope.WithMorselRows(0)); err == nil {
+		t.Error("Open(WithMorselRows(0)) accepted")
+	}
+	if _, err := stethoscope.Open(stethoscope.WithScaleFactor(0.005), stethoscope.WithMorselRows(-2)); err == nil {
+		t.Error("Open(WithMorselRows(-2)) accepted")
+	}
+	db, err := stethoscope.Open(stethoscope.WithScaleFactor(0.005), stethoscope.WithSeed(42),
+		stethoscope.WithMorselRows(stethoscope.Auto))
+	if err != nil {
+		t.Fatalf("Open(WithMorselRows(Auto)) rejected: %v", err)
+	}
+	defer db.Close()
+	res, err := db.Exec(context.Background(), figure1Query)
+	if err != nil {
+		t.Fatalf("Exec under morsel default: %v", err)
+	}
+	if res.Stats.MorselRows < 1 {
+		t.Errorf("Stats.MorselRows = %d, want the DB-default morsel mode in effect", res.Stats.MorselRows)
+	}
+}

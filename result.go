@@ -81,6 +81,11 @@ type Stats struct {
 	// always concrete counts.
 	Partitions int
 	Workers    int
+	// MorselRows is the morsel size the query ran with under the
+	// morsel-driven lowering (ExecMorselRows / WithMorselRows), resolved
+	// from Auto before execution. Zero when the query ran the static
+	// lowering.
+	MorselRows int
 	// AutoTuned reports that Partitions and/or Workers were chosen
 	// adaptively (the Auto sentinel); TuneReason records what the
 	// selection saw and picked, e.g.
@@ -111,13 +116,19 @@ type Result struct {
 	res  *engine.Result
 }
 
-// Rows returns the result row count.
-func (r *Result) Rows() int {
+// RowCount returns the result row count.
+func (r *Result) RowCount() int {
 	if r.res == nil {
 		return 0
 	}
 	return r.res.Rows()
 }
+
+// Rows returns the result row count.
+//
+// Deprecated: use RowCount. Rows reads ambiguously next to the
+// streaming API's row iterator; it remains as an alias.
+func (r *Result) Rows() int { return r.RowCount() }
 
 // Columns returns the result column names.
 func (r *Result) Columns() []string {

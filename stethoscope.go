@@ -45,6 +45,8 @@ type config struct {
 	dataDir    string // non-empty: open a persisted dataset instead of generating
 	partitions int
 	workers    int
+	morselRows int            // morsel size when morsel mode is the DB default
+	morselSet  bool           // WithMorselRows was given: morsel mode is the DB default
 	passes     []string       // nil selects the default optimizer pipeline
 	cacheSize  int            // compiled-plan cache capacity; 0 disables
 	history    *HistoryConfig // nil disables the durable query history
@@ -94,6 +96,17 @@ func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } 
 // worker count from the resolved partition fan-out and the core count.
 // ExecWorkers overrides it per query.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithMorselRows makes morsel-driven execution the DB default: queries
+// compile into pipeline fragments whose workers pull n-row morsels from
+// a shared cursor, bounding peak intermediate memory to roughly
+// workers × n rows instead of partitions × slice. Pass Auto to size the
+// morsel per query from the driver table's row count and the core
+// count. ExecMorselRows overrides it per query. The default (option
+// omitted) is the static mitosis lowering.
+func WithMorselRows(n int) Option {
+	return func(c *config) { c.morselRows, c.morselSet = n, true }
+}
 
 // WithOptimizerPasses selects the MAL optimizer pipeline by pass name,
 // in order. Known passes: "cse", "matfold", "deadcode". An explicit
@@ -180,6 +193,9 @@ func Open(opts ...Option) (*DB, error) {
 	}
 	if (cfg.partitions < 1 && cfg.partitions != Auto) || (cfg.workers < 1 && cfg.workers != Auto) {
 		return nil, fmt.Errorf("stethoscope: partitions and workers must be >= 1 (or Auto)")
+	}
+	if cfg.morselSet && cfg.morselRows < 1 && cfg.morselRows != Auto {
+		return nil, fmt.Errorf("stethoscope: morsel rows must be >= 1 (or Auto)")
 	}
 	pl, err := buildPipeline(cfg.passes)
 	if err != nil {
@@ -316,6 +332,8 @@ func splitQualified(name string) (schema, bare string) {
 type execConfig struct {
 	partitions int
 	workers    int
+	morsel     int  // morsel rows (or Auto) when morselOn
+	morselOn   bool // compile the morsel-driven lowering
 }
 
 // ExecOption overrides execution settings for a single Exec / Explain /
@@ -331,6 +349,18 @@ func ExecPartitions(n int) ExecOption { return func(c *execConfig) { c.partition
 // count.
 func ExecWorkers(n int) ExecOption { return func(c *execConfig) { c.workers = n } }
 
+// ExecMorselRows compiles this query with the morsel-driven lowering
+// and executes it with n-row morsels: workers pull morsels from a
+// shared cursor and run the whole pipeline fragment per morsel, so peak
+// intermediate memory is bounded by workers × n rows. Pass Auto to size
+// the morsel from the driver table's rows and the core count. The
+// morsel size normalizes like every other exec setting (values below 1
+// clamp to 1) and is a runtime option: changing it never recompiles or
+// adds plan-cache entries.
+func ExecMorselRows(n int) ExecOption {
+	return func(c *execConfig) { c.morsel, c.morselOn = n, true }
+}
+
 // execConfig resolves the per-call overrides and normalizes them: Auto
 // survives as the sentinel, anything below 1 clamps to 1. Every entry
 // point (Exec, Explain, Debug — and, via the same adaptive.Normalize
@@ -340,13 +370,30 @@ func ExecWorkers(n int) ExecOption { return func(c *execConfig) { c.workers = n 
 // cache entry under Key{Partitions:0} and write the bogus 0 into the
 // history RunMeta.
 func (db *DB) execConfig(opts []ExecOption) execConfig {
-	ec := execConfig{partitions: db.cfg.partitions, workers: db.cfg.workers}
+	ec := execConfig{
+		partitions: db.cfg.partitions,
+		workers:    db.cfg.workers,
+		morsel:     db.cfg.morselRows,
+		morselOn:   db.cfg.morselSet,
+	}
 	for _, o := range opts {
 		o(&ec)
 	}
 	ec.partitions = adaptive.Normalize(ec.partitions)
 	ec.workers = adaptive.Normalize(ec.workers)
+	if ec.morselOn {
+		ec.morsel = adaptive.Normalize(ec.morsel)
+	}
 	return ec
+}
+
+// morselRequest is the morsel setting handed to the shared planner
+// resolution (Compiled.ResolveMorsel): 0 = morsel mode off.
+func (ec execConfig) morselRequest() int {
+	if !ec.morselOn {
+		return 0
+	}
+	return ec.morsel
 }
 
 // compile lowers SQL to an optimized MAL plan through the shared
@@ -354,8 +401,8 @@ func (db *DB) execConfig(opts []ExecOption) execConfig {
 // compiles through). partitions must be normalized (execConfig does
 // this); the Auto sentinel keys the plan cache directly and is resolved
 // after bind, with the resolution memoized in the entry.
-func (db *DB) compile(query string, partitions int) (planner.Compiled, error) {
-	comp, err := db.planner.Compile(query, partitions)
+func (db *DB) compile(query string, partitions int, morsel bool) (planner.Compiled, error) {
+	comp, err := db.planner.Compile(query, partitions, morsel)
 	if err != nil {
 		return planner.Compiled{}, fmt.Errorf("stethoscope: %w", err)
 	}
@@ -369,12 +416,15 @@ func (db *DB) compile(query string, partitions int) (planner.Compiled, error) {
 // instructions, dataflow runs stop dispatching work.
 func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Result, error) {
 	ec := db.execConfig(opts)
-	comp, err := db.compile(query, ec.partitions)
+	comp, err := db.compile(query, ec.partitions, ec.morselOn)
 	if err != nil {
 		return nil, err
 	}
 	plan := comp.Plan
 	workers, autoTuned, tuneReason := comp.ResolveExec(ec.workers)
+	morselRows, mauto, mreason := comp.ResolveMorsel(ec.morselRequest())
+	autoTuned = autoTuned || mauto
+	tuneReason = adaptive.JoinReasons(tuneReason, mreason)
 	db.inflight.Add(1)
 	defer db.inflight.Add(-1)
 	// Two events (start + done) per instruction: preallocate exactly.
@@ -409,8 +459,9 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 	}
 	start := time.Now()
 	res, err := db.eng.RunContext(ctx, plan, engine.Options{
-		Workers:  workers,
-		Profiler: profiler.New(sinks...),
+		Workers:    workers,
+		MorselRows: morselRows,
+		Profiler:   profiler.New(sinks...),
 	})
 	elapsed := time.Since(start)
 	var runID uint64
@@ -443,6 +494,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 			Instructions: len(plan.Instrs),
 			Partitions:   comp.Partitions,
 			Workers:      workers,
+			MorselRows:   morselRows,
 			AutoTuned:    autoTuned,
 			TuneReason:   tuneReason,
 			CacheHit:     comp.Cached,
@@ -458,7 +510,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 // normalized and resolved exactly as Exec would.
 func (db *DB) Explain(query string, opts ...ExecOption) (string, error) {
 	ec := db.execConfig(opts)
-	comp, err := db.compile(query, ec.partitions)
+	comp, err := db.compile(query, ec.partitions, ec.morselOn)
 	if err != nil {
 		return "", err
 	}

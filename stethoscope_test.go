@@ -43,8 +43,8 @@ func TestGoldenFigure1(t *testing.T) {
 	}
 
 	// The generator is seeded: the result is reproducible.
-	if res.Rows() != 32 {
-		t.Errorf("rows = %d, want 32 (SF=0.005, seed=42)", res.Rows())
+	if res.RowCount() != 32 {
+		t.Errorf("rows = %d, want 32 (SF=0.005, seed=42)", res.RowCount())
 	}
 	if got, want := res.Columns(), []string{"l_tax"}; !reflect.DeepEqual(got, want) {
 		t.Errorf("columns = %v, want %v", got, want)
