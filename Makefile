@@ -10,7 +10,7 @@ SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # concurrency/network ones.
 GATE ?= 25
 GATE_MIN_NS ?= 100000
-GATE_OVERRIDES ?= BenchmarkHistoryTopN=15,BenchmarkConcurrentExec=50,BenchmarkE8UDPStream=50,BenchmarkE8UDPStreamBatched=50,BenchmarkPeakRSS=60
+GATE_OVERRIDES ?= BenchmarkHistoryTopN=15,BenchmarkConcurrentExec=50,BenchmarkE8UDPStream=50,BenchmarkE8UDPStreamBatched=50,BenchmarkPeakRSS=60,BenchmarkMetricsOverhead=15
 
 # Pinned static-analysis tool versions; keep in sync with the lint job
 # in .github/workflows/ci.yml.
@@ -65,7 +65,7 @@ bench-smoke:
 # pipefail, and a crashed benchmark must fail the target instead of
 # gating a truncated record.
 bench-record:
-	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory|BenchmarkParallel|BenchmarkOpen|BenchmarkPeakRSS' \
+	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory|BenchmarkParallel|BenchmarkOpen|BenchmarkPeakRSS|BenchmarkMetricsOverhead' \
 		-benchtime 1x -count 3 -run '^$$' . > bench.txt
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json < bench.txt > BENCH_$(SHA).json
 	@echo wrote BENCH_$(SHA).json

@@ -1039,6 +1039,48 @@ func TestMorselBoundsPeakMemory(t *testing.T) {
 	}
 }
 
+// --- Observability: the always-on metrics tax --------------------------
+
+// BenchmarkMetricsOverhead measures the cost of the always-on
+// observability layer on the hottest serving path: a cached-plan Exec
+// with the metrics registry wired (the shipping configuration, "on")
+// versus the same DB with every metrics sink detached ("off"). The
+// instrumentation is a handful of uncontended atomic adds per
+// instruction, so the two variants must stay within a few percent of
+// each other; both are recorded by bench-record and enforced by the CI
+// bench gate so an accidentally hot metrics path shows up as a
+// regression of "on" against its own baseline. The 128-partition plan
+// keeps the measurement above the gate's noise floor and maximizes
+// instructions per Exec — the worst case for per-instruction counters.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	ctx := context.Background()
+	run := func(b *testing.B, disable bool) {
+		db, err := Open(WithScaleFactor(0.001))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		if disable {
+			db.disableMetrics()
+		}
+		if _, err := db.Exec(ctx, cacheBenchQuery, ExecPartitions(128)); err != nil {
+			b.Fatal(err) // warm the plan cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Exec(ctx, cacheBenchQuery, ExecPartitions(128))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Stats.CacheHit {
+				b.Fatal("expected a plan-cache hit")
+			}
+		}
+	}
+	b.Run("on", func(b *testing.B) { run(b, false) })
+	b.Run("off", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkParallelSort tracks sort mitosis: per-slice sorts with the
 // fused top-k truncation feeding one mat.kmerge. The companion
 // assertion is TestAutoParallelSortSpeedup.

@@ -30,15 +30,20 @@ func main() {
 	seed := flag.Uint64("seed", 42, "data generator seed")
 	data := flag.String("data", "", "open this persisted dataset directory instead of generating (-sf/-seed must be left default)")
 	name := flag.String("name", "mserver", "server name announced to clients")
+	metricsAddr := flag.String("metrics-addr", "", "optional HTTP observability endpoint (Prometheus /metrics, JSON /progress, /debug/pprof)")
 	flag.Parse()
 
 	var (
 		db  *stethoscope.DB
 		err error
 	)
+	var extra []stethoscope.Option
+	if *metricsAddr != "" {
+		extra = append(extra, stethoscope.WithMetricsAddr(*metricsAddr))
+	}
 	if *data != "" {
 		log.Printf("opening persisted dataset %s ...", *data)
-		var opts []stethoscope.Option
+		opts := extra
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "sf" || f.Name == "seed" {
 				// Let Open report the conflict instead of silently
@@ -53,10 +58,14 @@ func main() {
 		db, err = stethoscope.OpenPath(*data, opts...)
 	} else {
 		log.Printf("generating TPC-H data at SF=%g ...", *sf)
-		db, err = stethoscope.Open(stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed))
+		opts := append([]stethoscope.Option{stethoscope.WithScaleFactor(*sf), stethoscope.WithSeed(*seed)}, extra...)
+		db, err = stethoscope.Open(opts...)
 	}
 	if err != nil {
 		log.Fatalf("open: %v", err)
+	}
+	if *metricsAddr != "" {
+		log.Printf("observability endpoint on http://%s/metrics (and /progress, /debug/pprof/)", db.MetricsAddr())
 	}
 	for _, t := range db.Tables() {
 		log.Printf("  %-14s %8d rows", t.Name, t.Rows)
@@ -69,7 +78,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	fmt.Printf("mserver %q listening on %s\n", *name, srv.Addr())
-	fmt.Println("protocol: SET partitions|workers|morsel <n|auto> / TRACE udpaddr / FILTER ... / EXPLAIN sql / DOT sql / QUERY sql / TABLES / QUIT")
+	fmt.Println("protocol: SET partitions|workers|morsel <n|auto> / TRACE udpaddr / FILTER ... / EXPLAIN sql / DOT sql / QUERY sql / TABLES / STATS / METRICS / PROGRESS / QUIT")
 
 	<-ctx.Done()
 	log.Println("shutting down")

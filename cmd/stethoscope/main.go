@@ -11,6 +11,11 @@
 //
 //	stethoscope -server 127.0.0.1:50000 -query "select ..." \
 //	            [-partitions 8] [-workers 4]
+//
+// Watch — poll a server's in-flight query progress (the PROGRESS wire
+// command) and render live progress bars until interrupted:
+//
+//	stethoscope -server 127.0.0.1:50000 -watch [-watch-interval 200ms]
 package main
 
 import (
@@ -19,6 +24,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"stethoscope"
@@ -37,7 +45,18 @@ func main() {
 	width := flag.Int("width", 120, "terminal render width")
 	ansi := flag.Bool("ansi", false, "colorize terminal output")
 	topK := flag.Int("top", 10, "costly instructions to list")
+	watchMode := flag.Bool("watch", false, "online: poll the server's in-flight query progress instead of running a query")
+	watchEvery := flag.Duration("watch-interval", 200*time.Millisecond, "poll interval for -watch")
 	flag.Parse()
+
+	if *watchMode {
+		if *serverAddr == "" {
+			fmt.Fprintln(os.Stderr, "-watch needs -server")
+			os.Exit(2)
+		}
+		watch(*serverAddr, *watchEvery)
+		return
+	}
 
 	algo, err := stethoscope.ParseColorAlgo(*colorAlgo)
 	if err != nil {
@@ -130,6 +149,79 @@ func online(addr, query string, partitions, workers int, opts []stethoscope.Anal
 		log.Fatalf("session: %v", err)
 	}
 	return a
+}
+
+// watch polls the server's PROGRESS command and redraws one progress
+// bar per in-flight query until the process is interrupted.
+func watch(addr string, every time.Duration) {
+	r, err := stethoscope.Dial(addr)
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer r.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Printf("watching %s (interval %s, ctrl-c to stop)\n", addr, every)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	prev := 0
+	for {
+		lines, err := r.Progress()
+		if err != nil {
+			log.Fatalf("progress: %v", err)
+		}
+		if prev > 0 {
+			fmt.Printf("\x1b[%dA", prev) // cursor back up over the last frame
+		}
+		if len(lines) == 0 {
+			lines = []string{""}
+		}
+		for _, ln := range lines {
+			out := "(idle)"
+			if ln != "" {
+				out = progressBar(ln)
+			}
+			fmt.Printf("\x1b[2K%s\n", out)
+		}
+		// Blank out leftover rows when the in-flight set shrank.
+		for i := len(lines); i < prev; i++ {
+			fmt.Print("\x1b[2K\n")
+		}
+		prev = max(prev, len(lines))
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// progressBar renders one PROGRESS k=v line as a bar. The sql field is
+// quoted and always last, so split it off before cutting on spaces.
+func progressBar(line string) string {
+	sql := ""
+	if i := strings.Index(line, " sql="); i >= 0 {
+		if s, err := strconv.Unquote(strings.TrimSpace(line[i+len(" sql="):])); err == nil {
+			sql = s
+		}
+		line = line[:i]
+	}
+	kv := make(map[string]string)
+	for _, f := range strings.Fields(line) {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			kv[k] = v
+		}
+	}
+	frac, _ := strconv.ParseFloat(kv["fraction"], 64)
+	const w = 30
+	full := int(frac*w + 0.5)
+	if full > w {
+		full = w
+	}
+	bar := strings.Repeat("#", full) + strings.Repeat(".", w-full)
+	return fmt.Sprintf("[%s] %5.1f%%  id=%s rows=%s/%s instr=%s/%s  %s",
+		bar, frac*100, kv["id"], kv["rows_scanned"], kv["rows_total"],
+		kv["instr_done"], kv["instr_total"], sql)
 }
 
 func max(a, b int) int {

@@ -38,6 +38,7 @@
 //	WithOptimizerPasses   —                 pass names    MAL optimizer pipeline
 //	WithPlanCacheSize     —                 ≥0            compiled-plan cache capacity (0 disables)
 //	WithHistory(Config)   —                 dir           durable query history
+//	WithMetricsAddr       —                 host:port     HTTP observability endpoint (/metrics, /progress, /debug/pprof)
 //
 // Auto defers the choice to the adaptive tuner at execution time; the
 // resolved values and the reason land in Result.Stats (Partitions,
@@ -59,6 +60,11 @@
 //     recovery, then listed (Queries, TopN), replayed as a full
 //     Analysis, and diffed across runs (Compare) — after restarts,
 //     from other processes, or over TCP via the HISTORY command.
+//   - DB.Metrics / DB.WriteMetrics / DB.Progress — the always-on
+//     observability surface: a lock-free metrics registry spanning
+//     every engine layer (snapshot or Prometheus text) and the live
+//     per-query progress table, also served over TCP (METRICS,
+//     PROGRESS) and, with WithMetricsAddr, over HTTP alongside pprof.
 //
 // Everything else lives under internal/; see DESIGN.md for the full
 // system inventory and the MonetDB-substitution notes. The experiment

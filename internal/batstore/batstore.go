@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"stethoscope/internal/fsio"
+	"stethoscope/internal/metrics"
 	"stethoscope/internal/storage"
 )
 
@@ -214,6 +215,23 @@ func writeManifest(dir string, man manifest) error {
 type Store struct {
 	dir string
 	man manifest
+
+	// I/O counters, nil (no-op) until Instrument attaches a registry.
+	segDecoded *metrics.Counter
+	segSkipped *metrics.Counter
+	bytesRead  *metrics.Counter
+}
+
+// Instrument registers the store's I/O counters (stetho_batstore_*) in
+// the registry. Call before serving reads; cursors opened earlier keep
+// counting into their original (possibly nil) cells.
+func (s *Store) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.segDecoded = reg.Counter("stetho_batstore_segments_decoded_total")
+	s.segSkipped = reg.Counter("stetho_batstore_segments_skipped_total")
+	s.bytesRead = reg.Counter("stetho_batstore_bytes_read_total")
 }
 
 // Open reads and verifies a dataset's manifest. No lock is taken and
@@ -365,6 +383,9 @@ func (s *Store) OpenColumn(schema, table, column string) (*ColumnReader, error) 
 		segRows:  s.man.SegmentRows,
 		segments: cm.Segments,
 		rows:     tm.Rows,
+		decoded:  s.segDecoded,
+		skipped:  s.segSkipped,
+		bytes:    s.bytesRead,
 	}, nil
 }
 
@@ -382,6 +403,12 @@ type ColumnReader struct {
 	rows     int
 	seg      int
 	got      int
+
+	// Store counters, copied at open; nil when the store is
+	// uninstrumented.
+	decoded *metrics.Counter
+	skipped *metrics.Counter
+	bytes   *metrics.Counter
 }
 
 // Kind returns the column's tail kind, from the manifest.
@@ -412,6 +439,8 @@ func (r *ColumnReader) Next(dst *storage.BAT) (int, error) {
 		return 0, fmt.Errorf("batstore: %s: segment %d: %v", r.path, r.seg, err)
 	}
 	r.buf = payload
+	r.decoded.Inc()
+	r.bytes.Add(int64(len(payload)))
 	n, err := decodeSegment(payload, dst, r.segRows)
 	if err != nil {
 		return 0, fmt.Errorf("batstore: %s: segment %d: %v", r.path, r.seg, err)
@@ -439,6 +468,8 @@ func (r *ColumnReader) SkipSegment() (int, error) {
 		return 0, fmt.Errorf("batstore: %s: segment %d: %v", r.path, r.seg, err)
 	}
 	r.buf = payload
+	r.skipped.Inc()
+	r.bytes.Add(int64(len(payload)))
 	n, err := segmentRowCount(payload, r.segRows)
 	if err != nil {
 		return 0, fmt.Errorf("batstore: %s: segment %d: %v", r.path, r.seg, err)

@@ -13,8 +13,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stethoscope/internal/mal"
+	"stethoscope/internal/metrics"
 	"stethoscope/internal/profiler"
 	"stethoscope/internal/storage"
 )
@@ -53,12 +55,20 @@ type Engine struct {
 
 	regMu    sync.RWMutex
 	registry map[string]Kernel
+
+	// met holds the scheduler/morsel metric cells when a registry is
+	// attached via SetMetrics; nil otherwise. The in-flight progress
+	// table (progress.go) is always on.
+	met      *engineMetrics
+	progMu   sync.Mutex
+	progSeq  int64
+	inflight map[int64]*runProgress
 }
 
 // New returns an engine over the catalog with the full kernel set
 // registered.
 func New(cat *storage.Catalog) *Engine {
-	e := &Engine{cat: cat, registry: map[string]Kernel{}}
+	e := &Engine{cat: cat, registry: map[string]Kernel{}, inflight: map[int64]*runProgress{}}
 	registerKernels(e)
 	return e
 }
@@ -113,6 +123,9 @@ type Options struct {
 	Emit func(names []string, cols []*storage.BAT) error
 	// Profiler, when set, receives start/done events per instruction.
 	Profiler *profiler.Profiler
+	// Label identifies the run in the live progress table (typically
+	// the SQL text). Empty labels are fine; the run still appears.
+	Label string
 }
 
 // Context is the per-execution state: the variable slots, the kernels
@@ -138,6 +151,10 @@ type Context struct {
 	emitNames  []string
 	emitOrder  []int
 	streamed   atomic.Bool
+
+	// prog is the run's live progress entry; nil for contexts built
+	// outside RunContext (the debugger), whose updates then no-op.
+	prog *runProgress
 }
 
 // value returns the runtime value of an argument.
@@ -256,6 +273,9 @@ func (e *Engine) RunContext(cctx context.Context, plan *mal.Plan, opt Options) (
 	ctx.workers = opt.Workers
 	ctx.morselRows = opt.MorselRows
 	ctx.streamPC = -1
+	e.met.runCounter().Inc()
+	ctx.prog = e.beginProgress(opt.Label, len(plan.Instrs))
+	defer e.endProgress(ctx.prog)
 	if opt.Emit != nil {
 		ctx.emit = opt.Emit
 		ctx.streamPC, ctx.emitOrder, ctx.emitNames = streamInfo(plan)
@@ -291,14 +311,25 @@ func (e *Engine) newContext(plan *mal.Plan) (*Context, error) {
 	return &Context{Plan: plan, eng: e, kernels: kernels, vals: make([]mal.Value, len(plan.Vars))}, nil
 }
 
-// exec runs one instruction on the given logical thread, with profiling.
+// exec runs one instruction on the given logical thread, with profiling
+// and metrics/progress accounting.
 func (e *Engine) exec(ctx *Context, in *mal.Instr, thread int, prof *profiler.Profiler) error {
 	k := ctx.kernels[in.PC]
 	var span profiler.Span
 	if prof != nil {
 		span = prof.Begin(in.PC, thread, in.Module, ctx.Plan.CachedStmt(in))
 	}
+	em := e.met
+	var t0 time.Time
+	if em != nil {
+		t0 = time.Now()
+	}
 	err := k(ctx, in)
+	if em != nil {
+		em.instrUs.Observe(time.Since(t0).Microseconds())
+		em.instrs.Inc()
+	}
+	ctx.prog.instrFinished()
 	if prof != nil {
 		reads, writes, rss := ctx.accounting(in)
 		span.End(rss, reads, writes)
@@ -330,6 +361,7 @@ func (ctx *Context) accounting(in *mal.Instr) (reads, writes, rssKB int64) {
 }
 
 func (e *Engine) runSequential(cctx context.Context, ctx *Context, opt Options) error {
+	w0 := e.met.workerCounter(0)
 	for _, in := range ctx.Plan.Instrs {
 		if err := cctx.Err(); err != nil {
 			return fmt.Errorf("engine: canceled at pc=%d: %w", in.PC, err)
@@ -337,6 +369,7 @@ func (e *Engine) runSequential(cctx context.Context, ctx *Context, opt Options) 
 		if err := e.exec(ctx, in, 0, opt.Profiler); err != nil {
 			return err
 		}
+		w0.Inc()
 	}
 	return nil
 }
@@ -350,11 +383,13 @@ func (e *Engine) runSequential(cctx context.Context, ctx *Context, opt Options) 
 type deque struct {
 	mu    sync.Mutex
 	items []int
+	hw    *metrics.Gauge // deque depth high-water; nil when metrics are off
 }
 
 func (d *deque) push(pc int) {
 	d.mu.Lock()
 	d.items = append(d.items, pc)
+	d.hw.SetMax(int64(len(d.items)))
 	d.mu.Unlock()
 }
 
@@ -430,9 +465,20 @@ func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) er
 	if workers > n {
 		workers = n
 	}
+	// Metric cells resolved once per run; all nil (and no-ops) when no
+	// registry is attached.
+	em := e.met
+	var dequeHW *metrics.Gauge
+	if em != nil {
+		dequeHW = em.dequeHW
+	}
+	workerInstrs := make([]*metrics.Counter, workers)
+	for w := range workerInstrs {
+		workerInstrs[w] = em.workerCounter(w)
+	}
 	queues := make([]*deque, workers)
 	for w := range queues {
-		queues[w] = &deque{}
+		queues[w] = &deque{hw: dequeHW}
 	}
 	// sem counts enqueued-but-unclaimed instructions. Every push into a
 	// deque is followed by exactly one token send; every claim consumes
@@ -490,6 +536,9 @@ func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) er
 					}
 					for i := 1; i < workers; i++ {
 						if pc, ok := queues[(worker+i)%workers].steal(); ok {
+							if em != nil {
+								em.steals.Inc()
+							}
 							return pc, true
 						}
 					}
@@ -502,13 +551,23 @@ func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) er
 				}
 			}
 			for {
+				// A park is a blocking wait for a token: the worker found
+				// no runnable instruction and goes idle until a peer
+				// completes one. Counted via a non-blocking first attempt.
 				select {
-				case <-done:
-					return
-				case <-cctx.Done():
-					finish(fmt.Errorf("engine: canceled: %w", cctx.Err()))
-					return
 				case <-sem:
+				default:
+					if em != nil {
+						em.parks.Inc()
+					}
+					select {
+					case <-done:
+						return
+					case <-cctx.Done():
+						finish(fmt.Errorf("engine: canceled: %w", cctx.Err()))
+						return
+					case <-sem:
+					}
 				}
 				pc, ok := claim()
 				if !ok {
@@ -529,6 +588,7 @@ func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) er
 					finish(err)
 					return
 				}
+				workerInstrs[worker].Inc()
 				for _, u := range uses[pc] {
 					if pending[u].Add(-1) == 0 {
 						own.push(u)

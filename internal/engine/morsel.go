@@ -113,6 +113,12 @@ func kMorsel(ctx *Context, in *mal.Instr) error {
 	}
 	streaming := ctx.emit != nil && in.PC == ctx.streamPC
 
+	// Publish this fragment's cursor dimensions to the run's live
+	// progress entry, and resolve the engine's morsel metric cells once
+	// per instruction — the per-morsel accounting below is atomic adds.
+	ctx.prog.addMorselWork(int64(n), int64(nM))
+	em := ctx.eng.met
+
 	results := make([][]*storage.BAT, nM)
 	var (
 		cursor   atomic.Int64
@@ -155,6 +161,9 @@ func kMorsel(ctx *Context, in *mal.Instr) error {
 			if m >= nM {
 				return
 			}
+			if em != nil {
+				em.morselsClaimed.Inc()
+			}
 			lo := m * morsel
 			hi := lo + morsel
 			if hi > n {
@@ -184,6 +193,10 @@ func kMorsel(ctx *Context, in *mal.Instr) error {
 				}
 				out[i] = b
 			}
+			if em != nil {
+				em.morselRows.Add(int64(hi - lo))
+			}
+			ctx.prog.morselFinished(int64(hi - lo))
 			mu.Lock()
 			if firstErr != nil {
 				mu.Unlock()

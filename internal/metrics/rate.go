@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRateWindow is the sliding window Rate uses unless configured
+// otherwise, and the window DBStats.EventsPerSec is averaged over.
+const DefaultRateWindow = 10 * time.Second
+
+// Rate measures a recent-events-per-second rate over a sliding window
+// of one-second buckets, lock-free on the Add path. Unlike a
+// lifetime average (events / uptime), the reported rate reflects only
+// the last window: a server that idles for an hour and then bursts
+// reports the burst, not a decayed near-zero.
+//
+// Implementation: a ring of (second, count) bucket pairs indexed by
+// wall-clock second modulo the ring size. Add stamps the bucket's
+// second with a CAS and resets its count when the bucket is reused for
+// a new second; the tiny race between an Add that wins the CAS and a
+// concurrent Add into the stale count can undercount a handful of
+// events at a bucket boundary, which is acceptable for a monitoring
+// rate and keeps the path lock-free.
+type Rate struct {
+	window  int // seconds
+	started time.Time
+	now     func() time.Time
+	secs    []atomic.Int64
+	counts  []atomic.Int64
+}
+
+// NewRate returns a rate measured over the given window (rounded up to
+// whole seconds, minimum 1s; 0 selects DefaultRateWindow).
+func NewRate(window time.Duration) *Rate {
+	if window <= 0 {
+		window = DefaultRateWindow
+	}
+	secs := int((window + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	// One spare bucket beyond the window so the bucket being overwritten
+	// for the current second never sits inside the summed range.
+	n := secs + 1
+	r := &Rate{window: secs, now: time.Now, secs: make([]atomic.Int64, n), counts: make([]atomic.Int64, n)}
+	r.started = r.now()
+	for i := range r.secs {
+		r.secs[i].Store(-1)
+	}
+	return r
+}
+
+// SetClock overrides the time source (tests). Not safe to call
+// concurrently with Add or PerSec.
+func (r *Rate) SetClock(now func() time.Time) {
+	r.now = now
+	r.started = now()
+}
+
+// Add records n events at the current time.
+func (r *Rate) Add(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	sec := r.now().Unix()
+	i := int(sec % int64(len(r.secs)))
+	for {
+		s := r.secs[i].Load()
+		if s == sec {
+			break
+		}
+		if r.secs[i].CompareAndSwap(s, sec) {
+			r.counts[i].Store(0)
+			break
+		}
+	}
+	r.counts[i].Add(n)
+}
+
+// PerSec reports the windowed rate: events recorded in the last window
+// seconds divided by the window (or by the elapsed lifetime when the
+// rate is younger than its window, so early readings are not diluted).
+func (r *Rate) PerSec() float64 {
+	if r == nil {
+		return 0
+	}
+	now := r.now()
+	sec := now.Unix()
+	var total int64
+	for i := range r.secs {
+		s := r.secs[i].Load()
+		if s >= 0 && sec-s < int64(r.window) {
+			total += r.counts[i].Load()
+		}
+	}
+	denom := float64(r.window)
+	if alive := now.Sub(r.started).Seconds(); alive < denom {
+		if alive < 1 {
+			alive = 1
+		}
+		denom = alive
+	}
+	return float64(total) / denom
+}
+
+// Total is the windowed event count (diagnostics and tests).
+func (r *Rate) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	sec := r.now().Unix()
+	var total int64
+	for i := range r.secs {
+		s := r.secs[i].Load()
+		if s >= 0 && sec-s < int64(r.window) {
+			total += r.counts[i].Load()
+		}
+	}
+	return total
+}

@@ -18,6 +18,7 @@ import (
 
 	"stethoscope/internal/dot"
 	"stethoscope/internal/mal"
+	"stethoscope/internal/metrics"
 	"stethoscope/internal/optimizer"
 )
 
@@ -124,13 +125,17 @@ func (s Stats) HitRate() float64 {
 // Cache is a fixed-capacity LRU over compiled plans. It is safe for
 // concurrent use by any number of sessions.
 type Cache struct {
-	mu        sync.Mutex
-	capacity  int
-	order     *list.List // front = most recently used; values are *slot
-	byKey     map[Key]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *slot
+	byKey    map[Key]*list.Element
+
+	// Effectiveness counters. Standalone metric cells by default;
+	// Instrument swaps in registry-owned cells so the cache's own
+	// accounting and the exposition endpoint read the same numbers.
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
 }
 
 type slot struct {
@@ -146,10 +151,30 @@ func New(capacity int) *Cache {
 		capacity = 1
 	}
 	return &Cache{
-		capacity: capacity,
-		order:    list.New(),
-		byKey:    make(map[Key]*list.Element, capacity),
+		capacity:  capacity,
+		order:     list.New(),
+		byKey:     make(map[Key]*list.Element, capacity),
+		hits:      &metrics.Counter{},
+		misses:    &metrics.Counter{},
+		evictions: &metrics.Counter{},
 	}
+}
+
+// Instrument re-homes the cache's counters into the registry (under
+// stetho_plancache_*) and registers occupancy/capacity gauges. Call
+// before serving: counts recorded before Instrument stay in the old
+// cells and are not carried over.
+func (c *Cache) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	c.hits = reg.Counter("stetho_plancache_hits_total")
+	c.misses = reg.Counter("stetho_plancache_misses_total")
+	c.evictions = reg.Counter("stetho_plancache_evictions_total")
+	c.mu.Unlock()
+	reg.GaugeFunc("stetho_plancache_entries", func() int64 { return int64(c.Len()) })
+	reg.GaugeFunc("stetho_plancache_capacity", func() int64 { return int64(c.capacity) })
 }
 
 // Get looks the key up, promoting it to most recently used on a hit.
@@ -158,10 +183,10 @@ func (c *Cache) Get(k Key) (Entry, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byKey[k]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return Entry{}, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*slot).entry, true
 }
@@ -181,7 +206,7 @@ func (c *Cache) Put(k Key, e Entry) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*slot).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 }
 
@@ -205,9 +230,9 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
 		Len:       c.order.Len(),
 		Capacity:  c.capacity,
 	}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"stethoscope/internal/metrics"
 )
 
 // Filter selects which events a profiler emits. The paper: "The profiler
@@ -306,6 +308,10 @@ type Batcher struct {
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// Metric cells, nil (no-op) until Instrument attaches a registry.
+	mEvents  *metrics.Counter
+	mFlushes *metrics.Counter
 }
 
 // DefaultBatchSize is the batch size used when NewBatcher is given a
@@ -394,6 +400,7 @@ func (b *Batcher) Emit(e Event) {
 		}
 	}
 	b.buf = append(b.buf, e)
+	b.mEvents.Inc()
 	if len(b.buf) >= b.size {
 		b.deliverLocked()
 	}
@@ -410,6 +417,20 @@ func (b *Batcher) deliverLocked() {
 	}
 	b.sink.EmitBatch(b.buf)
 	b.buf = b.buf[:0]
+	b.mFlushes.Inc()
+}
+
+// Instrument registers the batcher's event/flush counters
+// (stetho_profiler_*) in the registry. Call before the batcher starts
+// receiving events.
+func (b *Batcher) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mEvents = reg.Counter("stetho_profiler_events_total")
+	b.mFlushes = reg.Counter("stetho_profiler_batch_flushes_total")
 }
 
 // Flush delivers any pending events immediately.

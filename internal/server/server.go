@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"stethoscope/internal/adaptive"
 	"stethoscope/internal/algebra"
 	"stethoscope/internal/engine"
+	"stethoscope/internal/metrics"
 	"stethoscope/internal/netproto"
 	"stethoscope/internal/optimizer"
 	"stethoscope/internal/plancache"
@@ -48,6 +50,15 @@ type Server struct {
 	planner  planner.Planner
 	history  *tracestore.Store
 	onQuery  func(events int)
+
+	// Observability: the metrics registry (shared with the facade when
+	// the DB injects one, private otherwise) and the server-layer cells.
+	reg            *metrics.Registry
+	sessionsTotal  *metrics.Counter
+	sessionsActive *metrics.Gauge
+	commands       *metrics.Counter
+	bytesOut       *metrics.Counter
+	latency        *metrics.Histogram
 
 	// ctx is the server lifetime: queries execute under it, so Close (or
 	// cancellation of the parent context) aborts in-flight executions.
@@ -89,6 +100,12 @@ type Config struct {
 	// taken at the profiler — once per event — never from the transport,
 	// so EVTB-coalesced datagrams do not skew it.
 	OnQuery func(events int)
+	// Registry is the metrics registry the server's session/command/
+	// byte counters land in; the facade injects the DB's registry so
+	// the METRICS command and the HTTP endpoint expose one unified set.
+	// Nil creates a private registry (and instruments the private
+	// engine/cache built here, when they are private too).
+	Registry *metrics.Registry
 }
 
 // New creates a server over the catalog.
@@ -126,6 +143,24 @@ func NewWithConfig(ctx context.Context, name string, cat *storage.Catalog, cfg C
 	}
 	s.history = cfg.History
 	s.onQuery = cfg.OnQuery
+	s.reg = cfg.Registry
+	if s.reg == nil {
+		// Standalone server: private registry, and the privately-built
+		// engine/cache/history feed it. Injected components are left
+		// alone — their owner wired them to its own registry.
+		s.reg = metrics.NewRegistry()
+		if cfg.Engine == nil {
+			s.eng.SetMetrics(s.reg)
+		}
+		if cfg.Cache == nil && s.cache != nil {
+			s.cache.Instrument(s.reg)
+		}
+	}
+	s.sessionsTotal = s.reg.Counter("stetho_server_sessions_total")
+	s.sessionsActive = s.reg.Gauge("stetho_server_sessions_active")
+	s.commands = s.reg.Counter("stetho_server_commands_total")
+	s.bytesOut = s.reg.Counter("stetho_server_bytes_written_total")
+	s.latency = s.reg.Histogram("stetho_query_latency_us", nil)
 	s.planner = planner.Planner{Cat: s.eng.Catalog(), Cache: s.cache, Pipeline: s.pipeline, PassSpec: s.passSpec}
 	return s
 }
@@ -258,11 +293,14 @@ func (s *Server) handle(conn net.Conn) {
 		case <-stop:
 		}
 	}()
+	s.sessionsTotal.Inc()
+	s.sessionsActive.Add(1)
+	defer s.sessionsActive.Add(-1)
 	sess := &session{srv: s, partitions: adaptive.Auto, workers: adaptive.Auto}
 	defer func() { sess.closeStream() }()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	w := bufio.NewWriter(conn)
+	w := bufio.NewWriter(&countingWriter{w: conn, n: s.bytesOut})
 	fmt.Fprintf(w, "ok stethoscope-mserver %s\n", s.Name)
 	w.Flush()
 	for sc.Scan() {
@@ -280,7 +318,22 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// countingWriter counts bytes on their way to the connection — the
+// stetho_server_bytes_written_total source, placed under the bufio
+// layer so it costs one atomic add per flush, not per write.
+type countingWriter struct {
+	w io.Writer
+	n *metrics.Counter
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
 func (sess *session) dispatch(w *bufio.Writer, line string) {
+	sess.srv.commands.Inc()
 	cmd, rest := line, ""
 	if i := strings.IndexByte(line, ' '); i >= 0 {
 		cmd, rest = line[:i], strings.TrimSpace(line[i+1:])
@@ -303,10 +356,19 @@ func (sess *session) dispatch(w *bufio.Writer, line string) {
 	case "HISTORY":
 		sess.cmdHistory(w, rest)
 	case "STATS":
-		st := sess.srv.CacheStats()
+		sess.cmdStats(w)
+	case "METRICS":
 		fmt.Fprintln(w, "ok")
-		fmt.Fprintf(w, "cache_hits=%d cache_misses=%d cache_evictions=%d cache_len=%d cache_cap=%d\n",
-			st.Hits, st.Misses, st.Evictions, st.Len, st.Capacity)
+		sess.srv.reg.WritePrometheus(w)
+		fmt.Fprintln(w, ".")
+	case "PROGRESS":
+		fmt.Fprintln(w, "ok")
+		for _, p := range sess.srv.eng.Progress() {
+			fmt.Fprintf(w, "id=%d elapsed_us=%d fraction=%.4f instr_done=%d instr_total=%d rows_scanned=%d rows_total=%d morsels_done=%d morsels_total=%d sql=%s\n",
+				p.ID, p.Elapsed.Microseconds(), p.Fraction(),
+				p.InstrDone, p.InstrTotal, p.RowsScanned, p.RowsTotal,
+				p.MorselsDone, p.MorselsTotal, strconv.Quote(p.Label))
+		}
 		fmt.Fprintln(w, ".")
 	case "TABLES":
 		fmt.Fprintln(w, "ok")
@@ -317,6 +379,32 @@ func (sess *session) dispatch(w *bufio.Writer, line string) {
 	default:
 		fmt.Fprintf(w, "err unknown command %q\n", cmd)
 	}
+}
+
+// cmdStats renders the serving counters: the plan-cache line the
+// command always carried, plus a scheduler/morsel line and a server
+// line drawn from the metrics registry, so remote monitors see the
+// engine counters without the HTTP endpoint.
+func (sess *session) cmdStats(w *bufio.Writer) {
+	st := sess.srv.CacheStats()
+	snap := sess.srv.reg.Snapshot()
+	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "cache_hits=%d cache_misses=%d cache_evictions=%d cache_len=%d cache_cap=%d\n",
+		st.Hits, st.Misses, st.Evictions, st.Len, st.Capacity)
+	fmt.Fprintf(w, "engine_runs=%d engine_instructions=%d engine_steals=%d engine_parks=%d engine_queries_inflight=%d morsels_claimed=%d morsel_rows_scanned=%d\n",
+		snap.Value("stetho_engine_runs_total"),
+		snap.Value("stetho_engine_instructions_total"),
+		snap.Value("stetho_engine_steals_total"),
+		snap.Value("stetho_engine_parks_total"),
+		snap.Value("stetho_engine_queries_inflight"),
+		snap.Value("stetho_engine_morsels_claimed_total"),
+		snap.Value("stetho_engine_morsel_rows_scanned_total"))
+	fmt.Fprintf(w, "sessions_total=%d sessions_active=%d commands=%d bytes_written=%d\n",
+		snap.Value("stetho_server_sessions_total"),
+		snap.Value("stetho_server_sessions_active"),
+		snap.Value("stetho_server_commands_total"),
+		snap.Value("stetho_server_bytes_written_total"))
+	fmt.Fprintln(w, ".")
 }
 
 func (sess *session) cmdSet(w *bufio.Writer, rest string) {
@@ -375,6 +463,7 @@ func (sess *session) cmdTrace(w *bufio.Writer, addr string) {
 	// Events coalesce into multi-event datagrams on their way out — one
 	// syscall per batch instead of per event on the hot trace path.
 	sess.batcher = profiler.NewBatcher(streamer, traceBatchSize, traceFlushEvery)
+	sess.batcher.Instrument(sess.srv.reg)
 	streamer.Hello(sess.srv.Name)
 	fmt.Fprintln(w, "ok tracing to "+addr)
 }
@@ -536,6 +625,7 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 			return
 		}
 		hb = profiler.NewBatcher(rec, tracestore.DefaultAppendBatch, 0)
+		hb.Instrument(srv.reg)
 		sinks = append(sinks, hb)
 	}
 	var count *countingSink
@@ -552,8 +642,10 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 		Workers:    workers,
 		MorselRows: morselRows,
 		Profiler:   prof,
+		Label:      query,
 	})
 	elapsed := time.Since(start)
+	srv.latency.Observe(elapsed.Microseconds())
 	if hb != nil {
 		hb.Close() // flush the tail batch into the store
 	}
@@ -799,7 +891,7 @@ func (c *Client) Command(line string) (string, []string, error) {
 		return status, nil, fmt.Errorf("server: %s", status)
 	}
 	cmd := strings.ToUpper(strings.Fields(line)[0])
-	if cmd != "EXPLAIN" && cmd != "ALGEBRA" && cmd != "DOT" && cmd != "QUERY" && cmd != "TABLES" && cmd != "STATS" && cmd != "HISTORY" {
+	if cmd != "EXPLAIN" && cmd != "ALGEBRA" && cmd != "DOT" && cmd != "QUERY" && cmd != "TABLES" && cmd != "STATS" && cmd != "HISTORY" && cmd != "METRICS" && cmd != "PROGRESS" {
 		return status, nil, nil
 	}
 	var payload []string

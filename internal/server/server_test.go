@@ -300,8 +300,14 @@ func TestStatsCommandAndSharedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(payload) != 1 || !strings.Contains(payload[0], "cache_hits=") {
+	if len(payload) != 3 || !strings.Contains(payload[0], "cache_hits=") {
 		t.Fatalf("STATS payload = %q", payload)
+	}
+	if !strings.Contains(payload[1], "engine_runs=") || !strings.Contains(payload[1], "morsels_claimed=") {
+		t.Fatalf("STATS engine line = %q", payload[1])
+	}
+	if !strings.Contains(payload[2], "sessions_total=") || !strings.Contains(payload[2], "commands=") {
+		t.Fatalf("STATS server line = %q", payload[2])
 	}
 
 	// Different partition settings must compile separately.

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"stethoscope/internal/fsio"
+	"stethoscope/internal/metrics"
 	"stethoscope/internal/profiler"
 )
 
@@ -154,6 +155,11 @@ type Store struct {
 	truncatedBytes  int64
 	droppedSegs     int
 	droppedRuns     int
+
+	// Metric cells, nil (no-op) until Instrument attaches a registry.
+	mAppends     *metrics.Counter
+	mAppendBytes *metrics.Counter
+	mCompactions *metrics.Counter
 
 	done      chan struct{}
 	wg        sync.WaitGroup
@@ -465,6 +471,8 @@ func (s *Store) appendLocked(payload []byte) (recRef, error) {
 	}
 	active.size += recLen
 	active.newest = s.clock()
+	s.mAppends.Inc()
+	s.mAppendBytes.Add(recLen)
 	return recRef{seg: s.activeID, off: off, typ: payload[0]}, nil
 }
 
@@ -741,6 +749,7 @@ func (s *Store) Compact() error {
 	if len(drop) == 0 {
 		return nil
 	}
+	s.mCompactions.Inc()
 	var firstErr error
 	kept := s.segs[:0]
 	for _, sg := range s.segs {
@@ -847,3 +856,42 @@ func callOf(stmt string) string {
 // moduleOf extracts the MAL module of a statement (the profiler's
 // canonical spelling, mirrored by the core package).
 func moduleOf(stmt string) string { return profiler.ModuleOf(stmt) }
+
+// Instrument registers the store's metric cells (stetho_tracestore_*)
+// in the registry: append and compaction counters on the write path,
+// and gauges over the recovery/retention figures Stats already tracks.
+// Call right after Open, before serving writes.
+func (s *Store) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.mAppends = reg.Counter("stetho_tracestore_appends_total")
+	s.mAppendBytes = reg.Counter("stetho_tracestore_append_bytes_total")
+	s.mCompactions = reg.Counter("stetho_tracestore_compactions_total")
+	s.mu.Unlock()
+	reg.GaugeFunc("stetho_tracestore_recovered_events", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.recoveredEvents)
+	})
+	reg.GaugeFunc("stetho_tracestore_dropped_segments", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.droppedSegs)
+	})
+	reg.GaugeFunc("stetho_tracestore_dropped_runs", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.droppedRuns)
+	})
+	reg.GaugeFunc("stetho_tracestore_bytes", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var total int64
+		for _, sg := range s.segs {
+			total += sg.size
+		}
+		return total
+	})
+}

@@ -3,6 +3,7 @@ package stethoscope
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"stethoscope/internal/server"
@@ -33,6 +34,7 @@ func (db *DB) Serve(ctx context.Context, name, addr string) (*Server, error) {
 		Pipeline: &db.pipeline,
 		PassSpec: db.passSpec,
 		OnQuery:  db.observeQuery,
+		Registry: db.reg,
 	}
 	if db.hist != nil {
 		cfg.History = db.hist.st
@@ -120,6 +122,53 @@ func (r *Remote) Explain(sql string) (string, error) {
 func (r *Remote) Tables() ([]string, error) {
 	_, lines, err := r.c.Command("TABLES")
 	return lines, err
+}
+
+// Metrics fetches the server's metrics registry in the Prometheus text
+// exposition format (the METRICS wire command) — the same payload the
+// WithMetricsAddr HTTP endpoint serves.
+func (r *Remote) Metrics() (string, error) {
+	_, lines, err := r.c.Command("METRICS")
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// Progress fetches the live progress of the server's in-flight queries
+// (the PROGRESS wire command), one k=v line per run: id, elapsed_us,
+// fraction, instr_done/instr_total, rows_scanned/rows_total,
+// morsels_done/morsels_total, sql. An idle server returns no lines.
+func (r *Remote) Progress() ([]string, error) {
+	_, lines, err := r.c.Command("PROGRESS")
+	return lines, err
+}
+
+// Stats fetches the server's serving counters (the STATS wire command)
+// parsed into a flat k=v map: the plan-cache figures plus the
+// scheduler/morsel counters (engine_runs, engine_instructions,
+// engine_steals, engine_parks, morsels_claimed, morsel_rows_scanned)
+// and the server-layer counters (sessions, commands, bytes_written).
+func (r *Remote) Stats() (map[string]int64, error) {
+	_, lines, err := r.c.Command("STATS")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64)
+	for _, line := range lines {
+		for _, field := range strings.Fields(line) {
+			k, v, ok := strings.Cut(field, "=")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				continue
+			}
+			out[k] = n
+		}
+	}
+	return out, nil
 }
 
 // HistoryList returns the server's recorded runs, most recent first,

@@ -13,6 +13,7 @@ import (
 	"stethoscope/internal/adaptive"
 	"stethoscope/internal/batstore"
 	"stethoscope/internal/engine"
+	"stethoscope/internal/metrics"
 	"stethoscope/internal/optimizer"
 	"stethoscope/internal/plancache"
 	"stethoscope/internal/planner"
@@ -38,18 +39,19 @@ const Auto = adaptive.Auto
 
 // config collects the Open-time settings.
 type config struct {
-	sf         float64
-	seed       uint64
-	sfSet      bool   // WithScaleFactor was given explicitly
-	seedSet    bool   // WithSeed was given explicitly
-	dataDir    string // non-empty: open a persisted dataset instead of generating
-	partitions int
-	workers    int
-	morselRows int            // morsel size when morsel mode is the DB default
-	morselSet  bool           // WithMorselRows was given: morsel mode is the DB default
-	passes     []string       // nil selects the default optimizer pipeline
-	cacheSize  int            // compiled-plan cache capacity; 0 disables
-	history    *HistoryConfig // nil disables the durable query history
+	sf          float64
+	seed        uint64
+	sfSet       bool   // WithScaleFactor was given explicitly
+	seedSet     bool   // WithSeed was given explicitly
+	dataDir     string // non-empty: open a persisted dataset instead of generating
+	partitions  int
+	workers     int
+	morselRows  int            // morsel size when morsel mode is the DB default
+	morselSet   bool           // WithMorselRows was given: morsel mode is the DB default
+	passes      []string       // nil selects the default optimizer pipeline
+	cacheSize   int            // compiled-plan cache capacity; 0 disables
+	history     *HistoryConfig // nil disables the durable query history
+	metricsAddr string         // non-empty: serve /metrics + pprof here
 }
 
 // Option configures Open.
@@ -135,6 +137,17 @@ func WithPlanCacheSize(n int) Option {
 	}
 }
 
+// WithMetricsAddr serves the observability HTTP endpoint on addr
+// ("127.0.0.1:0" picks a free port; see DB.MetricsAddr for the bound
+// address): /metrics in Prometheus text format, /progress as a JSON
+// array of in-flight queries, and the standard net/http/pprof profiling
+// handlers under /debug/pprof/. The endpoint is read-only and shares
+// the DB's metrics registry; omitting the option (the default) binds
+// nothing.
+func WithMetricsAddr(addr string) Option {
+	return func(c *config) { c.metricsAddr = addr }
+}
+
 // buildPipeline resolves pass names into an optimizer pipeline.
 func buildPipeline(names []string) (optimizer.Pipeline, error) {
 	if names == nil {
@@ -177,6 +190,16 @@ type DB struct {
 	inflight atomic.Int64
 	execs    atomic.Int64
 	events   atomic.Int64
+
+	// Observability: the DB-wide metrics registry every subsystem feeds
+	// (engine scheduler, plancache, batstore, tracestore, profiler,
+	// servers), the sliding-window event rate behind
+	// DBStats.EventsPerSec, and the query latency histogram. reg is
+	// always non-nil after Open; msrv is the optional HTTP endpoint.
+	reg     *metrics.Registry
+	rate    *metrics.Rate
+	latency *metrics.Histogram
+	msrv    *metricsServer
 }
 
 // Open generates the data substrate and returns a ready database.
@@ -201,6 +224,7 @@ func Open(opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := metrics.NewRegistry()
 	var (
 		cat  *storage.Catalog
 		meta map[string]string
@@ -210,6 +234,7 @@ func Open(opts ...Option) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stethoscope: %w", err)
 		}
+		store.Instrument(reg)
 		cat, err = store.Catalog()
 		if err != nil {
 			return nil, fmt.Errorf("stethoscope: %w", err)
@@ -234,9 +259,14 @@ func Open(opts ...Option) (*DB, error) {
 		eng:      engine.New(cat),
 		dataMeta: meta,
 		opened:   time.Now(),
+		reg:      reg,
+		rate:     metrics.NewRate(0),
+		latency:  reg.Histogram("stetho_query_latency_us", nil),
 	}
+	db.eng.SetMetrics(reg)
 	if cfg.cacheSize > 0 {
 		db.cache = plancache.New(cfg.cacheSize)
+		db.cache.Instrument(reg)
 	}
 	db.planner = planner.Planner{Cat: cat, Cache: db.cache, Pipeline: pl, PassSpec: db.passSpec}
 	if cfg.history != nil {
@@ -245,6 +275,17 @@ func Open(opts ...Option) (*DB, error) {
 			return nil, err
 		}
 		db.hist = hist
+		hist.st.Instrument(reg)
+	}
+	reg.GaugeFunc("stetho_db_execs", func() int64 { return db.execs.Load() })
+	reg.GaugeFunc("stetho_db_events", func() int64 { return db.events.Load() })
+	if cfg.metricsAddr != "" {
+		msrv, err := startMetricsServer(db, cfg.metricsAddr)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.msrv = msrv
 	}
 	return db, nil
 }
@@ -284,10 +325,14 @@ func (db *DB) DataMeta() map[string]string {
 	return out
 }
 
-// Close releases the database. With history enabled it seals the trace
-// store (flush + fsync) and stops its background compactor; otherwise
-// the DB is purely in-memory and Close is a no-op.
+// Close releases the database: the metrics HTTP endpoint (when one was
+// configured) stops listening, and with history enabled the trace store
+// is sealed (flush + fsync) and its background compactor stopped.
 func (db *DB) Close() error {
+	if db.msrv != nil {
+		db.msrv.close()
+		db.msrv = nil
+	}
 	if db.hist != nil {
 		return db.hist.Close()
 	}
@@ -455,6 +500,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 			return nil, fmt.Errorf("stethoscope: history: %w", err)
 		}
 		hb = profiler.NewBatcher(rec, tracestore.DefaultAppendBatch, 0)
+		hb.Instrument(db.reg)
 		sinks = append(sinks, hb)
 	}
 	start := time.Now()
@@ -462,8 +508,10 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 		Workers:    workers,
 		MorselRows: morselRows,
 		Profiler:   profiler.New(sinks...),
+		Label:      query,
 	})
 	elapsed := time.Since(start)
+	db.latency.Observe(elapsed.Microseconds())
 	var runID uint64
 	if rec != nil {
 		hb.Close() // flush the tail batch into the store
@@ -485,6 +533,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 	events := sink.Take()
 	db.execs.Add(1)
 	db.events.Add(int64(len(events)))
+	db.rate.Add(int64(len(events)))
 	return &Result{
 		traceView: traceView{events: events},
 		Query:     query,
@@ -533,7 +582,10 @@ type DBStats struct {
 	// batches contributes exactly its event count, not its datagram
 	// count.
 	Events int64
-	// EventsPerSec is Events averaged over the DB's lifetime.
+	// EventsPerSec is the recent event throughput, averaged over a
+	// sliding metrics.DefaultRateWindow (10s) window — not over the
+	// DB's lifetime, so a long-idle server reports 0 and a fresh burst
+	// reports the burst instead of a decayed average.
 	EventsPerSec float64
 	// Uptime is the time since Open.
 	Uptime time.Duration
@@ -546,6 +598,7 @@ type DBStats struct {
 func (db *DB) observeQuery(events int) {
 	db.execs.Add(1)
 	db.events.Add(int64(events))
+	db.rate.Add(int64(events))
 }
 
 // Stats snapshots the serving counters: plan-cache effectiveness,
@@ -560,10 +613,44 @@ func (db *DB) Stats() DBStats {
 	if db.cache != nil {
 		st.Cache = db.cache.Stats()
 	}
-	if secs := st.Uptime.Seconds(); secs > 0 {
-		st.EventsPerSec = float64(st.Events) / secs
-	}
+	st.EventsPerSec = db.rate.PerSec()
 	return st
+}
+
+// Metrics snapshots the DB's metrics registry: every counter, gauge,
+// and histogram the engine scheduler, morsel kernel, plan cache,
+// stores, profiler pipeline, and servers feed. Snapshots are
+// per-metric consistent (see the registry contract in DESIGN.md) and
+// cheap enough to poll.
+func (db *DB) Metrics() MetricsSnapshot { return db.reg.Snapshot() }
+
+// WriteMetrics writes the registry in the Prometheus text exposition
+// format — the same payload the WithMetricsAddr endpoint and the
+// METRICS wire command serve.
+func (db *DB) WriteMetrics(w io.Writer) error { return db.reg.WritePrometheus(w) }
+
+// Progress snapshots the live progress of every in-flight query on
+// this DB's engine (in-process Exec/Stream calls and server QUERY
+// commands alike), ordered by start. Row and morsel figures cover
+// morsel-driven fragments; instruction figures cover every plan.
+func (db *DB) Progress() []QueryProgress { return db.eng.Progress() }
+
+// MetricsAddr reports the bound address of the observability HTTP
+// endpoint, or "" when the DB was opened without WithMetricsAddr.
+func (db *DB) MetricsAddr() string {
+	if db.msrv == nil {
+		return ""
+	}
+	return db.msrv.addr()
+}
+
+// disableMetrics detaches the engine and query-level instrumentation
+// (benchmarks measure the hot path with metrics on vs off through
+// this; the registry itself stays queryable).
+func (db *DB) disableMetrics() {
+	db.eng.SetMetrics(nil)
+	db.latency = nil
+	db.rate = nil
 }
 
 // DumpCSV writes a catalog table as CSV with a header line. table is a

@@ -57,6 +57,7 @@ func (db *DB) Stream(ctx context.Context, query string, opts ...ExecOption) (*Ro
 		_, err := db.eng.RunContext(sctx, plan, engine.Options{
 			Workers:    workers,
 			MorselRows: morselRows,
+			Label:      query,
 			Emit: func(names []string, cols []*storage.BAT) error {
 				// An unbuffered send per batch: the engine's producers
 				// wait for the consumer, which is the backpressure that

@@ -3,6 +3,8 @@ package stethoscope
 import (
 	"stethoscope/internal/ascii"
 	"stethoscope/internal/core"
+	"stethoscope/internal/engine"
+	"stethoscope/internal/metrics"
 	"stethoscope/internal/optimizer"
 	"stethoscope/internal/profiler"
 	"stethoscope/internal/tpch"
@@ -59,6 +61,29 @@ type (
 	Replay = core.Replay
 	// OptimizerStats summarizes what the optimizer pipeline changed.
 	OptimizerStats = optimizer.Stats
+)
+
+// Observability types, produced by DB.Metrics and DB.Progress.
+type (
+	// Metric is one named sample of the metrics registry: a counter or
+	// gauge value, or a histogram's cumulative buckets.
+	Metric = metrics.Sample
+	// MetricsSnapshot is a point-in-time view of the whole registry,
+	// sorted by name (Get/Value helpers included).
+	MetricsSnapshot = metrics.Snapshot
+	// MetricBucket is one cumulative histogram bucket of a Metric.
+	MetricBucket = metrics.Bucket
+	// QueryProgress is the live progress of one in-flight query: rows
+	// scanned / total driver rows and morsels done / total from the
+	// morsel cursor, instructions completed / total from the scheduler.
+	QueryProgress = engine.QueryProgress
+)
+
+// Metric kinds (Metric.Kind).
+const (
+	MetricCounter   = metrics.KindCounter
+	MetricGauge     = metrics.KindGauge
+	MetricHistogram = metrics.KindHistogram
 )
 
 // Query is one entry of the bundled TPC-H workload.
