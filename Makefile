@@ -17,7 +17,7 @@ GATE_OVERRIDES ?= BenchmarkHistoryTopN=15,BenchmarkConcurrentExec=50,BenchmarkE8
 STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: verify fmt vet build test race lint bench bench-smoke bench-record examples
+.PHONY: verify fmt vet build test race lint stethovet bench bench-smoke bench-record examples
 
 verify: fmt vet build test race bench-smoke
 
@@ -41,10 +41,18 @@ race:
 
 # lint mirrors the CI lint job: staticcheck + govulncheck at pinned
 # versions (fetches the tools on first use; not part of verify so
-# offline verification keeps working).
+# offline verification keeps working), then stethovet — the project's
+# own invariant analyzers (cmd/stethovet; in-tree, needs no network).
+# staticcheck reads staticcheck.conf at the repo root.
 lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+	$(GO) run ./cmd/stethovet ./...
+
+# stethovet alone: the in-tree analyzers work offline, so they can run
+# even where the pinned external tools cannot be fetched.
+stethovet:
+	$(GO) run ./cmd/stethovet ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

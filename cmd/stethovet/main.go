@@ -1,0 +1,92 @@
+// Command stethovet is the project's invariant linter: a multichecker
+// in the mold of go vet, running the internal/analyzers suite over the
+// module. Each analyzer enforces one cross-cutting engine contract —
+// kernel coverage, worker-loop cancellation, store error naming, the
+// atomics policy, and the no-send-under-lock rule — at lint time
+// instead of in review or at runtime.
+//
+// Usage:
+//
+//	go run ./cmd/stethovet ./...
+//	go run ./cmd/stethovet -list
+//	go run ./cmd/stethovet ./internal/engine ./internal/server
+//
+// Findings print as file:line:col: message (analyzer), one per line,
+// and any finding makes the exit status 1 — the contract `make lint`
+// and CI rely on. Suppress a reviewed finding with a
+// //stetho:ignore <analyzer> <reason> comment on or above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stethoscope/internal/analyzers"
+	"stethoscope/internal/analyzers/lintkit"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stethovet [-list] <packages>\n\npackages are go-style patterns relative to the module root: ./..., ./internal/engine, ./internal/...\n\nanalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stethovet:", err)
+		os.Exit(2)
+	}
+	fset, pkgs, err := lintkit.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stethovet:", err)
+		os.Exit(2)
+	}
+	findings, err := lintkit.RunAnalyzers(fset, pkgs, analyzers.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stethovet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "stethovet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

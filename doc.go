@@ -69,4 +69,7 @@
 // Everything else lives under internal/; see DESIGN.md for the full
 // system inventory and the MonetDB-substitution notes. The experiment
 // harness regenerating the paper's figures and claims is bench_test.go.
+// The engine's cross-cutting invariants (kernel coverage, cancellation,
+// store error naming, the atomics policy, no sends under locks) are
+// enforced at lint time by cmd/stethovet — see internal/analyzers.
 package stethoscope

@@ -1,0 +1,206 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"stethoscope/internal/analyzers/lintkit"
+)
+
+// ErrFile enforces the durable stores' error discipline — "never silent
+// wrong answers: name the exact segment file". In internal/fsio,
+// internal/batstore, and internal/tracestore, a function that has a
+// path at hand (a path/dir parameter, a filepath.Join/segPath local, an
+// *os.File handle) must interpolate it into every error it constructs.
+// Wrapping an error that already carries the path — one produced by a
+// call that was given the path or a file handle, like os.Open(path) or
+// f.Stat() — is fine; building a fresh message ("checksum mismatch",
+// "catalog does not resolve") without naming the file is not: that is
+// the message an operator sees when a store is corrupt, and it must say
+// which file to look at.
+var ErrFile = &lintkit.Analyzer{
+	Name: "errfile",
+	Doc:  "store errors must name the exact file when a path is in scope",
+	Run:  runErrFile,
+}
+
+// errfilePackages are the durable-store packages under the discipline.
+var errfilePackages = []string{"fsio", "batstore", "tracestore"}
+
+func runErrFile(pass *lintkit.Pass) error {
+	if !pkgMatches(pass.Pkg, errfilePackages...) {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Pkg) {
+		checkErrFileFunc(pass, fd)
+	}
+	return nil
+}
+
+// pathyName reports whether an identifier reads as a filesystem path.
+func pathyName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "path") || strings.Contains(l, "dir") ||
+		strings.Contains(l, "file") || strings.Contains(l, "fname") || l == "tmp"
+}
+
+// errFileScope is the per-function knowledge: identifiers that hold
+// paths or open file handles, and error variables known to carry a path
+// because their producing call was given one.
+type errFileScope struct {
+	fileIdents map[string]bool // *os.File params and os.Open/OpenFile/Create locals
+	pathErrs   map[string]bool // err idents whose source call saw a path
+}
+
+func checkErrFileFunc(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	sc := &errFileScope{fileIdents: map[string]bool{}, pathErrs: map[string]bool{}}
+
+	// Parameters: *os.File handles carry their path (f.Name()).
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			if exprString(f.Type) == "*os.File" {
+				for _, n := range f.Names {
+					sc.fileIdents[n.Name] = true
+				}
+			}
+		}
+	}
+
+	// First sweep: locals holding file handles, error sources, and
+	// whether any path-like expression appears in the function at all
+	// (the analyzer only speaks up when the function could have named a
+	// file).
+	inScope := len(sc.fileIdents) > 0
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.Ident:
+			if pathyName(t.Name) {
+				inScope = true
+			}
+		case *ast.SelectorExpr:
+			if pathyName(t.Sel.Name) {
+				inScope = true
+			}
+		case *ast.AssignStmt:
+			if len(t.Rhs) != 1 {
+				return true
+			}
+			call, ok := t.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name := calleeName(call)
+			opensFile := (recv == "os" && (name == "Open" || name == "OpenFile" || name == "Create"))
+			bearing := sc.pathBearingCall(call)
+			for _, lhs := range t.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if opensFile && !strings.Contains(strings.ToLower(id.Name), "err") {
+					sc.fileIdents[id.Name] = true
+				}
+				if strings.Contains(strings.ToLower(id.Name), "err") && bearing {
+					sc.pathErrs[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	if !inScope {
+		return
+	}
+
+	// Second sweep: vet every error construction.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name := calleeName(call)
+		isErrorf := recv == "fmt" && name == "Errorf"
+		isNew := recv == "errors" && name == "New"
+		if !isErrorf && !isNew {
+			return true
+		}
+		var args []ast.Expr
+		if isErrorf {
+			if len(call.Args) == 0 {
+				return true
+			}
+			if _, ok := strLit(call.Args[0]); !ok {
+				return true // dynamic format (a fail helper); not checkable
+			}
+			args = call.Args[1:]
+		}
+		for _, a := range args {
+			if sc.pathBearing(a) {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "error does not name the file although a path is in scope; interpolate the exact path (or wrap an error produced with it)")
+		return true
+	})
+}
+
+// pathBearing reports whether the expression mentions a path: a pathy
+// identifier or selector, a file handle, a call to a path-producing
+// function (filepath.Join, segPath, f.Name), or an error variable whose
+// source already saw the path.
+func (sc *errFileScope) pathBearing(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.Ident:
+			if pathyName(t.Name) || sc.fileIdents[t.Name] || sc.pathErrs[t.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if pathyName(t.Sel.Name) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sc.pathBearingCall(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// pathBearingCall reports whether a call was handed a path: its callee
+// is path-named (filepath.Join, s.segPath), it is a method on a file
+// handle (f.Stat, f.Name), or any argument is path-bearing.
+func (sc *errFileScope) pathBearingCall(call *ast.CallExpr) bool {
+	recv, name := calleeName(call)
+	// The fsio framing layer is deliberately path-agnostic: its
+	// checksum/torn-record errors never name a file, whatever it was
+	// handed. Callers own the naming — which is the point of this check.
+	if (recv == "fsio" || recv == "") &&
+		(strings.HasPrefix(name, "ReadRecord") || strings.HasPrefix(name, "WriteRecord")) {
+		return false
+	}
+	if pathyName(name) {
+		return true
+	}
+	if recv != "" {
+		// Method on (or chained through) a file handle: f.Stat(), f.Name().
+		root := recv
+		if i := strings.IndexByte(recv, '.'); i >= 0 {
+			root = recv[:i]
+		}
+		if sc.fileIdents[root] || pathyName(recv) {
+			return true
+		}
+	}
+	for _, a := range call.Args {
+		if sc.pathBearing(a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+// Fixture for the ctxselect analyzer: blocking channel operations in
+// worker loops of context-taking functions must select on cancellation.
+package engine
+
+import "context"
+
+func nakedSend(ctx context.Context, jobs <-chan int, out chan<- int) {
+	for j := range jobs {
+		out <- j // want "blocking channel send in a worker loop"
+	}
+}
+
+func nakedRecv(ctx context.Context, in <-chan int) {
+	for {
+		v := <-in // want "blocking channel receive in a worker loop"
+		_ = v
+	}
+}
+
+func selectWithDone(ctx context.Context, jobs <-chan int, out chan<- int) {
+	for j := range jobs {
+		select {
+		case out <- j:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func selectWithDefault(ctx context.Context, kick chan struct{}) {
+	for i := 0; i < 3; i++ {
+		select {
+		case kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func selectWithoutCancel(ctx context.Context, a, b chan int) {
+	for {
+		select { // want "select in a worker loop has no ctx.Done"
+		case v := <-a:
+			_ = v
+		case v := <-b:
+			_ = v
+		}
+	}
+}
+
+func cancelNamedChannel(ctx context.Context, done chan struct{}, out chan<- int) {
+	for i := 0; ; i++ {
+		select {
+		case out <- i:
+		case <-done:
+			return
+		}
+	}
+}
+
+func noContextInScope(jobs <-chan int, out chan<- int) {
+	for j := range jobs {
+		out <- j
+	}
+}
+
+func outsideAnyLoop(ctx context.Context, out chan<- int) {
+	out <- 1
+}
+
+func workerClosure(ctx context.Context, out chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			out <- i // want "blocking channel send in a worker loop"
+		}
+	}()
+}
+
+func suppressedAbove(ctx context.Context, out chan<- int) {
+	for i := 0; i < 2; i++ {
+		//stetho:ignore ctxselect the channel has capacity 2 and is drained before this runs; the send cannot block
+		out <- i
+	}
+}
+
+func suppressedSameLine(ctx context.Context, out chan<- int) {
+	for i := 0; i < 2; i++ {
+		out <- i //stetho:ignore ctxselect capacity equals the loop bound; the send cannot block
+	}
+}

@@ -1,0 +1,59 @@
+// Fixture for the errfile analyzer: in the durable-store packages an
+// error built while a path is in scope must name the file.
+package batstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func openManifest(dir string) error {
+	path := filepath.Join(dir, "manifest.json")
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("batstore: %w", err)
+	}
+	defer f.Close()
+	return nil
+}
+
+func checkManifest(path string, data []byte) error {
+	if len(data) == 0 {
+		return errors.New("batstore: empty manifest") // want "error does not name the file"
+	}
+	if data[0] != '{' {
+		return fmt.Errorf("batstore: %s: manifest is not json", path)
+	}
+	return nil
+}
+
+func verifyChecksum(f *os.File, sum, expect uint32) error {
+	if sum != expect {
+		return fmt.Errorf("batstore: checksum mismatch") // want "error does not name the file"
+	}
+	return nil
+}
+
+func verifyChecksumNamed(f *os.File, sum, expect uint32) error {
+	if sum != expect {
+		return fmt.Errorf("batstore: %s: checksum mismatch", f.Name())
+	}
+	return nil
+}
+
+func compareRows(a, b int) error {
+	if a != b {
+		return errors.New("batstore: row counts differ")
+	}
+	return nil
+}
+
+func requireDir(dir string) error {
+	if dir == "" {
+		//stetho:ignore errfile the rejected dir is the empty string; there is no file to name
+		return errors.New("batstore: dir is required")
+	}
+	return nil
+}

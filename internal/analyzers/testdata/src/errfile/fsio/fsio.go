@@ -1,0 +1,22 @@
+// Fixture: fsio itself is under the same discipline when it has a path
+// or handle in scope.
+package fsio
+
+import (
+	"fmt"
+	"os"
+)
+
+func truncateTail(f *os.File, off int64) error {
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("fsio: %w", err)
+	}
+	return nil
+}
+
+func implausibleLength(f *os.File, n uint32) error {
+	if n > 1<<20 {
+		return fmt.Errorf("fsio: implausible record length %d", n) // want "error does not name the file"
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+// Fixture: wrapping fsio's deliberately path-agnostic framing errors
+// without naming the file is flagged; the caller owns the naming.
+package tracestore
+
+import (
+	"fmt"
+	"os"
+)
+
+func readAt(f *os.File, off int64) ([]byte, error) {
+	payload, err := fsio.ReadRecordAt(f, off, 1024)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err) // want "error does not name the file"
+	}
+	return payload, nil
+}
+
+func readAtNamed(f *os.File, off int64) ([]byte, error) {
+	payload, err := fsio.ReadRecordAt(f, off, 1024)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %s: %w", f.Name(), err)
+	}
+	return payload, nil
+}
+
+func statSize(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, fmt.Errorf("tracestore: %w", err)
+	}
+	return info.Size(), nil
+}

@@ -1,0 +1,34 @@
+// Fixture for the kernelcoverage analyzer, emit side: literals,
+// map-indexed names, "sub"+x concatenation, the fn-from-switch-case
+// idiom, and the two failure modes (unregistered opcode, unresolvable
+// opcode expression).
+package compiler
+
+type plan struct{}
+
+func (p *plan) Emit(mod, fn string, args ...int)      {}
+func (p *plan) Emit1(mod, fn string, args ...int) int { return 0 }
+
+var aggrFunc = map[int]string{0: "add", 1: "sub"}
+
+var arithFunc = map[string]string{"+": "add", "-": "sub"}
+
+func lower(p *plan, kind int, op string) {
+	p.Emit("algebra", "select")
+	p.Emit1("aggr", "sub"+aggrFunc[kind])
+
+	var fn string
+	switch op {
+	case "+", "-":
+		fn = arithFunc[op]
+	case "and":
+		fn = op
+	}
+	p.Emit1("batcalc", fn)
+
+	p.Emit("calc", "missing") // want "mal opcode calc.missing is emitted here but registerKernels installs no such kernel"
+
+	p.Emit("algebra", opOf(kind)) // want "cannot statically resolve the mal opcode"
+}
+
+func opOf(kind int) string { return "select" }

@@ -1,0 +1,17 @@
+// Fixture for the kernelcoverage analyzer, rewrite side: the
+// optimizer's in-place `instr.Function = "name"` rewrites must land on
+// a registered kernel name.
+package optimizer
+
+type instr struct {
+	Module   string
+	Function string
+}
+
+func fuseJoin(probe *instr) {
+	probe.Function = "join"
+}
+
+func badRewrite(p *instr) {
+	p.Function = "nothere" // want "rewritten to .nothere. but no registered kernel has that name"
+}

@@ -1,0 +1,73 @@
+// Fixture for the locksend analyzer: no blocking channel send and no
+// network write while a mutex is held.
+package netq
+
+import "sync"
+
+type Q struct {
+	mu   sync.Mutex
+	out  chan int
+	conn interface{ Write(b []byte) (int, error) }
+}
+
+func (q *Q) sendUnderDefer(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.out <- v // want "channel send while q.mu is held"
+}
+
+func (q *Q) sendBetweenLockUnlock(v int) {
+	q.mu.Lock()
+	q.out <- v // want "channel send while q.mu is held"
+	q.mu.Unlock()
+}
+
+func (q *Q) writeUnderLock(b []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.conn.Write(b) // want "network write on q.conn while q.mu is held"
+}
+
+func (q *Q) unlockBeforeSend(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.out <- v
+}
+
+func (q *Q) nonBlockingKick() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.out <- 1:
+	default:
+	}
+}
+
+func (q *Q) blockingSelectSend() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.out <- 1: // want "blocking select send while q.mu is held"
+	}
+}
+
+func (q *Q) spawnedGoroutine(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.out <- v
+	}()
+}
+
+func (q *Q) writeOutsideLock(b []byte) {
+	q.conn.Write(b)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+}
+
+func (q *Q) suppressed(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//stetho:ignore locksend the consumer never takes q.mu and the channel is buffered beyond the producer count
+	q.out <- v
+}

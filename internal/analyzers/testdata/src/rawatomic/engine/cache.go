@@ -1,0 +1,7 @@
+// Fixture: the allowlist is per-file — engine/cache.go is not on it, so
+// the import is flagged even inside the engine package.
+package engine
+
+import "sync/atomic" // want "engine/cache.go imports sync/atomic outside internal/metrics"
+
+var hits atomic.Int64

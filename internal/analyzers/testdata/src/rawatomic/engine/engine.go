@@ -1,0 +1,9 @@
+// Fixture: engine/engine.go is on the hot-path allowlist, so its
+// sync/atomic import passes without a suppression.
+package engine
+
+import "sync/atomic"
+
+var pending atomic.Int64
+
+func claim() int64 { return pending.Add(-1) }

@@ -1,0 +1,9 @@
+// Fixture: internal/metrics is the one package that may always use
+// sync/atomic — its cells are the sanctioned counters.
+package metrics
+
+import "sync/atomic"
+
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Inc() { c.v.Add(1) }

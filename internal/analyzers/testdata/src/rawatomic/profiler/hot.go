@@ -1,0 +1,9 @@
+// Fixture: a reasoned suppression on the import line is honored.
+package profiler
+
+import (
+	//stetho:ignore rawatomic reviewed hot path; a registry cell adds a pointer indirection per event
+	"sync/atomic"
+)
+
+var ticks atomic.Int64

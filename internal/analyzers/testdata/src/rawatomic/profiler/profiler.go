@@ -1,0 +1,7 @@
+// Fixture: any other package importing sync/atomic is flagged; the
+// suppressed file shows the escape hatch.
+package profiler
+
+import "sync/atomic" // want "profiler/profiler.go imports sync/atomic outside internal/metrics"
+
+var events atomic.Int64

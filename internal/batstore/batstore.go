@@ -120,7 +120,7 @@ func Persist(dir string, cat *storage.Catalog, meta map[string]string, segmentRo
 		}
 		t, ok := cat.Table(schema, bare)
 		if !ok {
-			return fmt.Errorf("batstore: catalog names table %s but does not resolve it", qual)
+			return fmt.Errorf("batstore: %s: catalog names table %s but does not resolve it", dir, qual)
 		}
 		tm := tableManifest{Schema: schema, Name: bare, Rows: t.Rows()}
 		for _, col := range t.Columns {

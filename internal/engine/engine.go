@@ -515,6 +515,7 @@ func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) er
 		}
 	}
 	for i := 0; i < seeded; i++ {
+		//stetho:ignore ctxselect sem has capacity n and holds one token per ready instruction; seeding can never block
 		sem <- struct{}{}
 	}
 
@@ -592,6 +593,7 @@ func (e *Engine) runDataflow(cctx context.Context, ctx *Context, opt Options) er
 				for _, u := range uses[pc] {
 					if pending[u].Add(-1) == 0 {
 						own.push(u)
+						//stetho:ignore ctxselect sem has capacity n and carries at most one token per instruction; the send cannot block
 						sem <- struct{}{}
 					}
 				}

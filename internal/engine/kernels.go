@@ -13,6 +13,7 @@ import (
 // aggregates), mat (mitosis slice/pack), and the admin modules.
 func registerKernels(e *Engine) {
 	e.Register("querylog", "define", kNop)
+	//stetho:ignore kernelcoverage language.pass is part of the MAL surface for hand-written plans (Engine.RunMAL), not the SQL compiler
 	e.Register("language", "pass", kNop)
 	e.Register("sql", "mvc", func(ctx *Context, in *mal.Instr) error {
 		ctx.setVal(in, 0, mal.Int64(0))
@@ -27,6 +28,7 @@ func registerKernels(e *Engine) {
 	e.Register("mat", "pack", kMatPack)
 	e.Register("mat", "kmerge", kKMerge)
 	e.Register("mat", "morsel", kMorsel)
+	//stetho:ignore kernelcoverage bat.mirror serves hand-written MAL plans and tests; the SQL compiler has no use for it yet
 	e.Register("bat", "mirror", kMirror)
 
 	e.Register("algebra", "thetaselect", kThetaSelect)

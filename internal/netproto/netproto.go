@@ -163,10 +163,15 @@ func (u *UDPStreamer) SendDot(planName, dotText string) {
 }
 
 func (u *UDPStreamer) send(m Msg) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	if _, err := u.conn.Write(Encode(m)); err != nil {
+	// The write happens outside the mutex: net.UDPConn serializes
+	// concurrent writes itself, and holding u.mu across a socket write
+	// would stall every other sender on one slow syscall. The lock only
+	// guards the dropped counter.
+	_, err := u.conn.Write(Encode(m))
+	if err != nil {
+		u.mu.Lock()
 		u.dropped++
+		u.mu.Unlock()
 	}
 }
 

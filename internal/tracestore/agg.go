@@ -157,14 +157,14 @@ type Diff struct {
 func (s *Store) Compare(aID, bID uint64) (*Diff, error) {
 	a, ok := s.Run(aID)
 	if !ok {
-		return nil, fmt.Errorf("tracestore: unknown run %d", aID)
+		return nil, fmt.Errorf("tracestore: %s: unknown run %d", s.opts.Dir, aID)
 	}
 	b, ok := s.Run(bID)
 	if !ok {
-		return nil, fmt.Errorf("tracestore: unknown run %d", bID)
+		return nil, fmt.Errorf("tracestore: %s: unknown run %d", s.opts.Dir, bID)
 	}
 	if a.SQL != b.SQL {
-		return nil, fmt.Errorf("tracestore: runs %d and %d executed different SQL (%q vs %q)", aID, bID, a.SQL, b.SQL)
+		return nil, fmt.Errorf("tracestore: %s: runs %d and %d executed different SQL (%q vs %q)", s.opts.Dir, aID, bID, a.SQL, b.SQL)
 	}
 	d := &Diff{A: a, B: b, ElapsedDeltaUs: b.ElapsedUs - a.ElapsedUs}
 	if a.OK() && b.OK() && a.ElapsedUs > 0 {

@@ -175,6 +175,7 @@ type Store struct {
 // take no lock and never modify the files.
 func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
+		//stetho:ignore errfile the rejected Dir is the empty string; there is no file to name
 		return nil, fmt.Errorf("tracestore: Dir is required")
 	}
 	if opts.MaxSegmentBytes <= 0 {
@@ -643,7 +644,7 @@ func (s *Store) snapshot(id uint64) (RunInfo, []recRef, error) {
 func readRecordAt(f *os.File, off int64) ([]byte, error) {
 	payload, err := fsio.ReadRecordAt(f, off, maxRecordBytes)
 	if err != nil {
-		return nil, fmt.Errorf("tracestore: %w", err)
+		return nil, fmt.Errorf("tracestore: %s: %w", f.Name(), err)
 	}
 	return payload, nil
 }
@@ -725,10 +726,10 @@ func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("tracestore: store is closed")
+		return fmt.Errorf("tracestore: %s: store is closed", s.opts.Dir)
 	}
 	if s.opts.ReadOnly {
-		return fmt.Errorf("tracestore: store is read-only")
+		return fmt.Errorf("tracestore: %s: store is read-only", s.opts.Dir)
 	}
 	now := s.clock()
 	var total int64

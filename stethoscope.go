@@ -7,7 +7,6 @@ import (
 	"math"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"stethoscope/internal/adaptive"
@@ -187,9 +186,9 @@ type DB struct {
 	dataMeta map[string]string // provenance recorded into persisted datasets
 
 	opened   time.Time
-	inflight atomic.Int64
-	execs    atomic.Int64
-	events   atomic.Int64
+	inflight *metrics.Gauge   // stetho_db_inflight: live Exec/Stream calls
+	execs    *metrics.Counter // stetho_db_execs: completed executions
+	events   *metrics.Counter // stetho_db_events: profiler events produced
 
 	// Observability: the DB-wide metrics registry every subsystem feeds
 	// (engine scheduler, plancache, batstore, tracestore, profiler,
@@ -262,6 +261,9 @@ func Open(opts ...Option) (*DB, error) {
 		reg:      reg,
 		rate:     metrics.NewRate(0),
 		latency:  reg.Histogram("stetho_query_latency_us", nil),
+		inflight: reg.Gauge("stetho_db_inflight"),
+		execs:    reg.Counter("stetho_db_execs"),
+		events:   reg.Counter("stetho_db_events"),
 	}
 	db.eng.SetMetrics(reg)
 	if cfg.cacheSize > 0 {
@@ -277,8 +279,6 @@ func Open(opts ...Option) (*DB, error) {
 		db.hist = hist
 		hist.st.Instrument(reg)
 	}
-	reg.GaugeFunc("stetho_db_execs", func() int64 { return db.execs.Load() })
-	reg.GaugeFunc("stetho_db_events", func() int64 { return db.events.Load() })
 	if cfg.metricsAddr != "" {
 		msrv, err := startMetricsServer(db, cfg.metricsAddr)
 		if err != nil {
