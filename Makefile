@@ -10,14 +10,14 @@ SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # concurrency/network ones.
 GATE ?= 25
 GATE_MIN_NS ?= 100000
-GATE_OVERRIDES ?= BenchmarkHistoryTopN=15,BenchmarkConcurrentExec=50,BenchmarkE8UDPStream=50,BenchmarkE8UDPStreamBatched=50,BenchmarkPeakRSS=60,BenchmarkMetricsOverhead=15
+GATE_OVERRIDES ?= BenchmarkHistoryTopN=15,BenchmarkConcurrentExec=50,BenchmarkE8UDPStream=50,BenchmarkE8UDPStreamBatched=50,BenchmarkPeakRSS=60,BenchmarkMetricsOverhead=15,BenchmarkSharedWork=50
 
 # Pinned static-analysis tool versions; keep in sync with the lint job
 # in .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: verify fmt vet build test race lint stethovet bench bench-smoke bench-record examples
+.PHONY: verify fmt vet build test race lint stethovet docscheck bench bench-smoke bench-record examples
 
 verify: fmt vet build test race bench-smoke
 
@@ -42,17 +42,24 @@ race:
 # lint mirrors the CI lint job: staticcheck + govulncheck at pinned
 # versions (fetches the tools on first use; not part of verify so
 # offline verification keeps working), then stethovet — the project's
-# own invariant analyzers (cmd/stethovet; in-tree, needs no network).
+# own invariant analyzers (cmd/stethovet; in-tree, needs no network) —
+# and docscheck, which fails the run when README/DESIGN/ARCHITECTURE
+# reference identifiers or paths that no longer exist in the tree.
 # staticcheck reads staticcheck.conf at the repo root.
 lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 	$(GO) run ./cmd/stethovet ./...
+	$(GO) run ./cmd/docscheck
 
 # stethovet alone: the in-tree analyzers work offline, so they can run
 # even where the pinned external tools cannot be fetched.
 stethovet:
 	$(GO) run ./cmd/stethovet ./...
+
+# docscheck alone: the documentation linter (in-tree, offline).
+docscheck:
+	$(GO) run ./cmd/docscheck
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -73,7 +80,7 @@ bench-smoke:
 # pipefail, and a crashed benchmark must fail the target instead of
 # gating a truncated record.
 bench-record:
-	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory|BenchmarkParallel|BenchmarkOpen|BenchmarkPeakRSS|BenchmarkMetricsOverhead' \
+	$(GO) test -bench 'BenchmarkF|BenchmarkE|BenchmarkPlanCacheHit|BenchmarkConcurrentExec|BenchmarkHistory|BenchmarkParallel|BenchmarkOpen|BenchmarkPeakRSS|BenchmarkMetricsOverhead|BenchmarkSharedWork' \
 		-benchtime 1x -count 3 -run '^$$' . > bench.txt
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json < bench.txt > BENCH_$(SHA).json
 	@echo wrote BENCH_$(SHA).json

@@ -1103,3 +1103,74 @@ func BenchmarkParallelSort(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) { run(b, ExecPartitions(1), ExecWorkers(1)) })
 	b.Run("auto", func(b *testing.B) { run(b) })
 }
+
+// --- Shared-work serving ----------------------------------------------
+
+// BenchmarkSharedWork measures the single-flight serving win at 64
+// concurrent clients. identical: every client issues the same
+// statement, so concurrent calls coalesce onto one execution.
+// distinct: each client issues its own statement (all pre-warmed in
+// the plan cache, so compilation cost is identical across the two
+// cases) and nothing coalesces. ns/op is wall time per completed
+// statement; identical should complete statements at a multiple of
+// distinct's rate — the dedup is the only difference between the
+// subbenchmarks.
+func BenchmarkSharedWork(b *testing.B) {
+	db, err := Open(WithScaleFactor(0.005))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	const clients = 64
+	variants := make([]string, clients)
+	for i := range variants {
+		// 64 genuinely distinct statements of near-identical cost: the
+		// predicate constant differs per client, so nothing coalesces.
+		// The statement is deliberately heavy (join + aggregate): cheap
+		// statements finish inside one scheduler quantum on small
+		// machines and never overlap, which would benchmark the
+		// scheduler, not the dedup.
+		variants[i] = fmt.Sprintf("select o_orderpriority, count(*) as n from lineitem, orders "+
+			"where l_orderkey = o_orderkey and l_partkey > %d group by o_orderpriority order by o_orderpriority", i)
+	}
+	for _, q := range variants {
+		if _, err := db.Exec(ctx, q); err != nil {
+			b.Fatal(err) // warm the plan cache for every variant
+		}
+	}
+	run := func(b *testing.B, pick func(client int) string) {
+		jobs := make(chan struct{})
+		errs := make(chan error, clients)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				q := pick(c)
+				for range jobs {
+					if _, err := db.Exec(ctx, q); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+					}
+				}
+			}(c)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			jobs <- struct{}{}
+		}
+		close(jobs)
+		wg.Wait()
+		b.StopTimer()
+		select {
+		case err := <-errs:
+			b.Fatal(err)
+		default:
+		}
+	}
+	b.Run("identical/clients=64", func(b *testing.B) { run(b, func(int) string { return variants[0] }) })
+	b.Run("distinct/clients=64", func(b *testing.B) { run(b, func(c int) string { return variants[c] }) })
+}

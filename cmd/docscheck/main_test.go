@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckSpan(t *testing.T) {
+	root := t.TempDir()
+	for _, d := range []string{"internal/engine", "cmd/tool"} {
+		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range []string{"README.md", "bench_test.go", "Makefile"} {
+		if err := os.WriteFile(filepath.Join(root, f), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	known := map[string]bool{"Exec": true, "DB": true, "Stats": true, "RunContext": true}
+	pkgSegs := map[string]bool{"stethoscope": true, "engine": true}
+
+	cases := []struct {
+		span string
+		ok   bool
+	}{
+		{"internal/engine", true},
+		{"internal/engine/...", true},
+		{"internal/gone", false},
+		{"cmd/tool", true},
+		{"cmd/missing", false},
+		{"bench_test.go", true},
+		{"missing_test.go", false},
+		{"Makefile", true},
+		{"README.md", true},
+		{"DB.Exec", true},
+		{"DB.Gone", false},
+		{"Gone", false},
+		{"engine.RunContext", true},
+		{"engine.Vanished", false},
+		{"engine.lowercase", true},    // unexported: not attributable
+		{"mat.pack", true},            // not our qualifier namespace
+		{"iter.Seq", true},            // stdlib qualifier: skipped
+		{"STATS", true},               // protocol keyword
+		{"GOMAXPROCS", true},          // env name
+		{"Exec(ctx, sql)", true},      // call form strips to Exec
+		{"Gone(ctx)", false},          // call form still checked
+		{"SET morsel auto", true},     // spaces: not attributable
+		{"go test -race", true},       // shell fragment
+		{"BENCH_baseline.json", true}, // runtime artifact extension
+		{"res.Stats", true},           // local qualifier, known field
+		{"0.005", true},               // number
+		{"/metrics", true},            // URL path
+	}
+	for _, c := range cases {
+		msg := checkSpan(root, c.span, known, pkgSegs)
+		if c.ok && msg != "" {
+			t.Errorf("span %q: unexpected finding %q", c.span, msg)
+		}
+		if !c.ok && msg == "" {
+			t.Errorf("span %q: expected a finding, got none", c.span)
+		}
+	}
+}
+
+func TestCheckDocSkipsFencedBlocks(t *testing.T) {
+	root := t.TempDir()
+	doc := "a `Gone` b\n```\n`AlsoGone` inside a fence\n```\nplain line\n"
+	if err := os.WriteFile(filepath.Join(root, "X.md"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checkDoc(root, "X.md", map[string]bool{}, map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the unfenced `Gone`", findings)
+	}
+}

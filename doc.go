@@ -37,6 +37,9 @@
 //	WithMorselRows        ExecMorselRows    ≥1 | Auto     morsel-driven lowering + rows per morsel
 //	WithOptimizerPasses   —                 pass names    MAL optimizer pipeline
 //	WithPlanCacheSize     —                 ≥0            compiled-plan cache capacity (0 disables)
+//	WithResultCache       —                 n, ttl        shared result-reuse cache: completed outcomes
+//	                                                      served to identical statements (0 disables;
+//	                                                      default off; ttl 0 = no expiry)
 //	WithHistory(Config)   —                 dir           durable query history
 //	WithMetricsAddr       —                 host:port     HTTP observability endpoint (/metrics, /progress, /debug/pprof)
 //
@@ -45,6 +48,18 @@
 // Workers, MorselRows, TuneReason). Out-of-range numeric values clamp
 // to 1 through the shared rule in internal/adaptive; Open-time options
 // reject invalid values outright.
+//
+// Concurrent identical statements share work instead of repeating it:
+// non-streaming executions with the same SQL and settings single-flight
+// — one caller runs the plan, concurrent duplicates attach to its
+// in-flight run and receive the same outcome — and with WithResultCache
+// a completed outcome is additionally served to later repeats until its
+// TTL lapses or the dataset changes (DB.Persist invalidates). Shared
+// results are byte-identical to a private execution; Result.Stats.Shared
+// reports "attached" or "resultcache" when a call did not run the plan
+// itself. Server sessions participate too and can opt out per
+// connection with SET resultcache off (the single-flight dedup is
+// always on).
 //   - Analyze / OpenOffline → Analysis — Stethoscope proper: the
 //     laid-out plan graph, execution-state coloring (pair-elision,
 //     threshold, gradient), replay, costly-instruction / utilization /

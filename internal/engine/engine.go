@@ -63,12 +63,20 @@ type Engine struct {
 	progMu   sync.Mutex
 	progSeq  int64
 	inflight map[int64]*runProgress
+
+	// scans is the shared-scan registry (sharedscan.go): in-flight
+	// morsel cursors over table scans, keyed by source identity and
+	// geometry so overlapping queries co-scan instead of each walking
+	// the table cold.
+	scanMu sync.Mutex
+	scans  map[scanKey]*scanShare
 }
 
 // New returns an engine over the catalog with the full kernel set
 // registered.
 func New(cat *storage.Catalog) *Engine {
-	e := &Engine{cat: cat, registry: map[string]Kernel{}, inflight: map[int64]*runProgress{}}
+	e := &Engine{cat: cat, registry: map[string]Kernel{}, inflight: map[int64]*runProgress{},
+		scans: map[scanKey]*scanShare{}}
 	registerKernels(e)
 	return e
 }

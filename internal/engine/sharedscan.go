@@ -1,0 +1,82 @@
+// Shared (cooperative) scans: the engine-level half of the shared-work
+// serving story. A mat.morsel instruction over a table scan registers
+// its cursor here; a second run that starts scanning the same source
+// with the same geometry while the first is still in flight ATTACHES —
+// it claims its own full set of morsels, but in rotated order starting
+// from the in-flight cursor's current position. Both runs' workers then
+// walk the same region of the table together (the attached run reads
+// columns the leader just pulled through the cache instead of starting
+// cold at row 0), and the attached run's wrap-around over the morsels
+// it missed is the catch-up pass. This is the Crescando/DataPath
+// cooperative-scan idea reduced to the morsel cursor.
+//
+// Correctness: attachment changes only the ORDER morsels are claimed
+// in, never their extent — every run still executes all of its own
+// morsels into results[m] indexed by absolute morsel number, and the
+// combine stage packs in morsel order. Results are therefore
+// byte-identical to an unshared run. The published position is a
+// performance hint with no synchronization role: a stale read merely
+// picks a slightly worse starting morsel.
+package engine
+
+import (
+	"sync/atomic"
+
+	"stethoscope/internal/storage"
+)
+
+// scanKey identifies one attachable scan: the identity of the leading
+// source column plus the cursor geometry. Pointer identity is exact —
+// catalog columns are stable across runs, while per-run intermediates
+// are unique pointers, so two runs can only ever share a cursor over
+// the same underlying table data. Geometry (row count, morsel size)
+// must match for morsel indexes to align between runs.
+type scanKey struct {
+	src    *storage.BAT
+	n      int
+	morsel int
+}
+
+// scanShare is one in-flight attachable cursor. pos is the latest
+// absolute morsel index any participating run claimed — the attach
+// hint. refs counts participating runs (guarded by Engine.scanMu).
+type scanShare struct {
+	pos  atomic.Int64
+	refs int
+}
+
+// attachScan joins or creates the share for key. It returns the share
+// and whether an in-flight scan was already registered (attached=true
+// means the caller should start claiming at the share's position).
+func (e *Engine) attachScan(key scanKey) (sh *scanShare, attached bool) {
+	e.scanMu.Lock()
+	defer e.scanMu.Unlock()
+	if sh, ok := e.scans[key]; ok {
+		sh.refs++
+		return sh, true
+	}
+	sh = &scanShare{}
+	sh.refs = 1
+	e.scans[key] = sh
+	return sh, false
+}
+
+// detachScan releases one participant, dropping the share when the
+// last one leaves — the registry only ever holds in-flight scans, so
+// a run arriving after everything finished leads a fresh cursor.
+func (e *Engine) detachScan(key scanKey, sh *scanShare) {
+	e.scanMu.Lock()
+	defer e.scanMu.Unlock()
+	sh.refs--
+	if sh.refs <= 0 {
+		delete(e.scans, key)
+	}
+}
+
+// activeScanShares reports the registry occupancy (the
+// stetho_engine_sharedscan_active gauge and tests).
+func (e *Engine) activeScanShares() int {
+	e.scanMu.Lock()
+	defer e.scanMu.Unlock()
+	return len(e.scans)
+}

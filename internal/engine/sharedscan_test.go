@@ -1,0 +1,215 @@
+// Engine-level tests of the shared-scan registry (sharedscan.go): the
+// attach/detach lifecycle, and the core correctness claim — a run that
+// attaches mid-scan and claims its morsels in rotated order (with the
+// wrap-around catch-up pass) produces byte-identical results to a
+// sequential run, at every attach position and under concurrency.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"stethoscope/internal/mal"
+	"stethoscope/internal/metrics"
+	"stethoscope/internal/storage"
+)
+
+func TestScanShareRegistryLifecycle(t *testing.T) {
+	eng := New(testCat)
+	b := storage.New(storage.Int, 0)
+	k := scanKey{src: b, n: 100, morsel: 10}
+
+	sh1, joined := eng.attachScan(k)
+	if joined {
+		t.Fatal("first attach reported an in-flight scan")
+	}
+	sh2, joined := eng.attachScan(k)
+	if !joined || sh2 != sh1 {
+		t.Fatal("second attach did not join the in-flight share")
+	}
+	if got := eng.activeScanShares(); got != 1 {
+		t.Fatalf("active shares = %d, want 1", got)
+	}
+	// A different geometry over the same source is a different scan.
+	other, joined := eng.attachScan(scanKey{src: b, n: 100, morsel: 20})
+	if joined || other == sh1 {
+		t.Fatal("different morsel size joined the same share")
+	}
+	eng.detachScan(scanKey{src: b, n: 100, morsel: 20}, other)
+
+	eng.detachScan(k, sh1)
+	if got := eng.activeScanShares(); got != 1 {
+		t.Fatalf("share dropped while a participant remained: %d active", got)
+	}
+	eng.detachScan(k, sh2)
+	if got := eng.activeScanShares(); got != 0 {
+		t.Fatalf("registry not empty after last detach: %d active", got)
+	}
+	// After the last detach a new arrival leads a fresh cursor.
+	sh3, joined := eng.attachScan(k)
+	if joined || sh3 == sh1 {
+		t.Fatal("stale share survived the last detach")
+	}
+	eng.detachScan(k, sh3)
+}
+
+// TestSharedScanAttachedRunMatchesSequential pins the byte-identity
+// claim deterministically: a share is pre-registered over the scanned
+// table at a chosen cursor position, so the run under test attaches and
+// claims every morsel in rotated order — first the tail from the attach
+// point, then the wrap-around catch-up pass — and its result must still
+// equal the sequential run's, cell for cell.
+func TestSharedScanAttachedRunMatchesSequential(t *testing.T) {
+	queries := []string{
+		"select l_orderkey, l_tax from lineitem where l_quantity > 10",
+		"select l_returnflag, sum(l_quantity) as s, count(*) as n from lineitem where l_quantity > 10 group by l_returnflag order by l_returnflag",
+	}
+	tbl, ok := testCat.Table("sys", "lineitem")
+	if !ok {
+		t.Fatal("no lineitem")
+	}
+	n := tbl.Rows()
+	const morsel = 64
+	nM := (n + morsel - 1) / morsel
+	if nM < 3 {
+		t.Fatalf("test wants >= 3 morsels, have %d", nM)
+	}
+	for _, q := range queries {
+		eng := New(testCat)
+		reg := metrics.NewRegistry()
+		eng.SetMetrics(reg)
+		mplan := compileMorsel(t, q, 4)
+		// Unshared baseline at the same geometry: rotation must not
+		// change result bytes, so the attached runs below must match it
+		// cell for cell.
+		seq, err := eng.Run(mplan, Options{Workers: 1, MorselRows: morsel})
+		if err != nil {
+			t.Fatalf("%s: unshared baseline: %v", q, err)
+		}
+		for _, start := range []int{1, nM / 2, nM - 1} {
+			// Pre-register an in-flight share over every lineitem column:
+			// whichever column the fragment scans first, the run attaches
+			// at position start.
+			keys := make([]scanKey, 0, len(tbl.Columns))
+			shares := make([]*scanShare, 0, len(tbl.Columns))
+			for _, c := range tbl.Columns {
+				b, err := tbl.ColumnData(c.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := scanKey{src: b, n: n, morsel: morsel}
+				sh, joined := eng.attachScan(k)
+				if joined {
+					t.Fatalf("column %s: share already in flight", c.Name)
+				}
+				sh.pos.Store(int64(start))
+				keys = append(keys, k)
+				shares = append(shares, sh)
+			}
+			before := reg.Snapshot().Value("stetho_engine_sharedscan_attached_total")
+			res, err := eng.Run(mplan, Options{Workers: 4, MorselRows: morsel})
+			if err != nil {
+				t.Fatalf("%s: start=%d: %v", q, start, err)
+			}
+			if got := reg.Snapshot().Value("stetho_engine_sharedscan_attached_total"); got != before+1 {
+				t.Fatalf("%s: start=%d: attached counter %d -> %d, want one attach", q, start, before, got)
+			}
+			// The attached run published its rotated claims into exactly
+			// one share (its scan source); that share's hint moved off the
+			// seeded position.
+			moved := 0
+			for _, sh := range shares {
+				if sh.pos.Load() != int64(start) {
+					moved++
+				}
+			}
+			if moved != 1 {
+				t.Fatalf("%s: start=%d: %d shares saw claims, want exactly 1", q, start, moved)
+			}
+			for i := range keys {
+				eng.detachScan(keys[i], shares[i])
+			}
+			if res.Rows() != seq.Rows() {
+				t.Fatalf("%s: start=%d: rows %d != %d", q, start, res.Rows(), seq.Rows())
+			}
+			for c := range seq.Cols {
+				for i := 0; i < seq.Rows(); i++ {
+					if !sameCell(res.Cols[c], seq.Cols[c], i) {
+						t.Fatalf("%s: start=%d: col %d row %d differs (rotated claim order leaked into the combine)", q, start, c, i)
+					}
+				}
+			}
+		}
+		if got := eng.activeScanShares(); got != 0 {
+			t.Fatalf("%s: registry not drained: %d", q, got)
+		}
+	}
+}
+
+// TestSharedScanConcurrentEquality races several identical and
+// overlapping morsel runs — whichever interleaving of leads and
+// attaches the scheduler produces, every run's result must match its
+// own sequential baseline.
+func TestSharedScanConcurrentEquality(t *testing.T) {
+	queries := []string{
+		"select l_orderkey, l_tax from lineitem where l_quantity > 10",
+		"select sum(l_extendedprice) as s from lineitem where l_quantity > 10",
+	}
+	eng := New(testCat)
+	baselines := make([]*Result, len(queries))
+	mplans := make([]*mal.Plan, len(queries))
+	// The baseline runs the same plan at the same morsel geometry,
+	// unshared (no concurrent run to attach to): partitions and morsel
+	// size decide how float aggregates associate, worker count and
+	// claim order must not.
+	for i, q := range queries {
+		mplans[i] = compileMorsel(t, q, 4)
+		var err error
+		baselines[i], err = eng.Run(mplans[i], Options{Workers: 1, MorselRows: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds, clients = 4, 8
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			qi := c % len(queries)
+			wg.Add(1)
+			go func(qi int) {
+				defer wg.Done()
+				<-start
+				res, err := eng.Run(mplans[qi], Options{Workers: 2, MorselRows: 64})
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := baselines[qi]
+				if res.Rows() != want.Rows() {
+					errs <- fmt.Errorf("%s: rows %d != %d", queries[qi], res.Rows(), want.Rows())
+					return
+				}
+				for ci := range want.Cols {
+					for i := 0; i < want.Rows(); i++ {
+						if !sameCell(res.Cols[ci], want.Cols[ci], i) {
+							errs <- fmt.Errorf("%s: col %d row %d differs", queries[qi], ci, i)
+							return
+						}
+					}
+				}
+			}(qi)
+		}
+		close(start)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.activeScanShares(); got != 0 {
+		t.Fatalf("registry not drained after rounds: %d", got)
+	}
+}

@@ -10,6 +10,7 @@ package planner
 
 import (
 	"fmt"
+	"sync"
 
 	"stethoscope/internal/adaptive"
 	"stethoscope/internal/algebra"
@@ -23,13 +24,64 @@ import (
 
 // Planner binds the shared compilation inputs: the catalog to resolve
 // tables (and auto fan-outs) against, the shared plan cache (nil
-// disables caching), and the optimizer pipeline with its cache-key
-// spec.
+// disables caching), the optimizer pipeline with its cache-key spec,
+// and the compile flight that coalesces concurrent cache misses.
 type Planner struct {
 	Cat      *storage.Catalog
 	Cache    *plancache.Cache
 	Pipeline optimizer.Pipeline
 	PassSpec string
+	// Flight, when non-nil, single-flights cache-miss compilations:
+	// concurrent Compile calls for the same key (identical Exec,
+	// Explain, or server QUERY/EXPLAIN statements) run the parse → bind
+	// → compile → optimize chain once instead of racing to populate the
+	// plan cache. The facade and its servers share one flight so the
+	// coalescing spans entry points; a nil flight compiles every miss
+	// independently (correct, just duplicated work).
+	Flight *CompileFlight
+}
+
+// compileCall is one in-flight compilation.
+type compileCall struct {
+	done chan struct{}
+	c    Compiled
+	err  error
+}
+
+// CompileFlight coalesces concurrent compilations of the same cache
+// key. It holds only in-flight work — entries are removed before their
+// outcome is published, so it never caches (the plan cache does that).
+type CompileFlight struct {
+	mu    sync.Mutex
+	calls map[plancache.Key]*compileCall
+}
+
+// NewCompileFlight returns an empty flight.
+func NewCompileFlight() *CompileFlight {
+	return &CompileFlight{calls: map[plancache.Key]*compileCall{}}
+}
+
+// do runs compile under single-flight semantics for key. Followers
+// block until the leader finishes (compilation is CPU-bound and quick;
+// there is no cancellation point) and report coalesced=true.
+func (f *CompileFlight) do(key plancache.Key, compile func() (Compiled, error)) (c Compiled, coalesced bool, err error) {
+	f.mu.Lock()
+	if call, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-call.done
+		return call.c, true, call.err
+	}
+	call := &compileCall{done: make(chan struct{})}
+	f.calls[key] = call
+	f.mu.Unlock()
+
+	call.c, call.err = compile()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(call.done)
+	return call.c, false, call.err
 }
 
 // Compiled is one compilation outcome: the optimized plan plus what it
@@ -114,6 +166,25 @@ func (p *Planner) Compile(query string, partitions int, morsel bool) (Compiled, 
 				Partitions: e.Partitions, TuneReason: e.TuneReason, Rows: e.Rows, Cached: true}, nil
 		}
 	}
+	if p.Flight == nil {
+		return p.compileMiss(key, query, partitions, morsel)
+	}
+	c, coalesced, err := p.Flight.do(key, func() (Compiled, error) {
+		return p.compileMiss(key, query, partitions, morsel)
+	})
+	if err != nil {
+		return Compiled{}, err
+	}
+	if coalesced {
+		// The follower's plan was compiled by a concurrent identical
+		// call — compilation was skipped exactly as on a cache hit.
+		c.Cached = true
+	}
+	return c, nil
+}
+
+// compileMiss is the cache-miss compilation chain.
+func (p *Planner) compileMiss(key plancache.Key, query string, partitions int, morsel bool) (Compiled, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return Compiled{}, fmt.Errorf("parse: %w", err)

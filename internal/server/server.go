@@ -10,6 +10,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -27,6 +28,7 @@ import (
 	"stethoscope/internal/plancache"
 	"stethoscope/internal/planner"
 	"stethoscope/internal/profiler"
+	"stethoscope/internal/sharedwork"
 	"stethoscope/internal/sql"
 	"stethoscope/internal/storage"
 	"stethoscope/internal/tracestore"
@@ -48,6 +50,7 @@ type Server struct {
 	pipeline optimizer.Pipeline
 	passSpec string
 	planner  planner.Planner
+	shared   *sharedwork.Shared
 	history  *tracestore.Store
 	onQuery  func(events int)
 
@@ -106,6 +109,16 @@ type Config struct {
 	// Nil creates a private registry (and instruments the private
 	// engine/cache built here, when they are private too).
 	Registry *metrics.Registry
+	// Shared is the work-deduplication state QUERY executes through:
+	// the single-flight execution registry plus the optional result
+	// cache. The facade injects the DB's, so TCP sessions and
+	// in-process Exec callers dedupe against each other; nil creates a
+	// private flight with no result cache.
+	Shared *sharedwork.Shared
+	// CompileFlight coalesces concurrent cache-miss compilations; the
+	// facade injects the DB's so coalescing spans entry points. Nil
+	// creates a private flight.
+	CompileFlight *planner.CompileFlight
 }
 
 // New creates a server over the catalog.
@@ -161,7 +174,19 @@ func NewWithConfig(ctx context.Context, name string, cat *storage.Catalog, cfg C
 	s.commands = s.reg.Counter("stetho_server_commands_total")
 	s.bytesOut = s.reg.Counter("stetho_server_bytes_written_total")
 	s.latency = s.reg.Histogram("stetho_query_latency_us", nil)
-	s.planner = planner.Planner{Cat: s.eng.Catalog(), Cache: s.cache, Pipeline: s.pipeline, PassSpec: s.passSpec}
+	s.shared = cfg.Shared
+	if s.shared == nil {
+		// Standalone server: a private single-flight (identical
+		// concurrent QUERYs still dedupe) and no result cache. Injected
+		// Shared state was instrumented by its owner.
+		s.shared = &sharedwork.Shared{Flight: sharedwork.NewFlight()}
+		s.shared.Instrument(s.reg)
+	}
+	s.planner = planner.Planner{Cat: s.eng.Catalog(), Cache: s.cache, Pipeline: s.pipeline,
+		PassSpec: s.passSpec, Flight: cfg.CompileFlight}
+	if s.planner.Flight == nil {
+		s.planner.Flight = planner.NewCompileFlight()
+	}
 	return s
 }
 
@@ -252,10 +277,17 @@ type session struct {
 	// morsel selects the morsel-driven lowering when non-zero: a
 	// concrete morsel size, or adaptive.Auto for per-query sizing. Zero
 	// (the default) keeps the static mitosis lowering.
-	morsel   int
-	filter   profiler.Filter
-	streamer *netproto.UDPStreamer
-	batcher  *profiler.Batcher
+	morsel int
+	// resultcache opts this session's QUERYs into the server's shared
+	// result cache (on by default; meaningful only when the server has
+	// one). "SET resultcache off" forces fresh execution — the escape
+	// hatch for a client that must observe current timing, not a reused
+	// outcome. In-flight sharing is not affected: identical concurrent
+	// statements always dedupe.
+	resultcache bool
+	filter      profiler.Filter
+	streamer    *netproto.UDPStreamer
+	batcher     *profiler.Batcher
 }
 
 // traceBatch configures the per-session event batching on the UDP
@@ -296,7 +328,7 @@ func (s *Server) handle(conn net.Conn) {
 	s.sessionsTotal.Inc()
 	s.sessionsActive.Add(1)
 	defer s.sessionsActive.Add(-1)
-	sess := &session{srv: s, partitions: adaptive.Auto, workers: adaptive.Auto}
+	sess := &session{srv: s, partitions: adaptive.Auto, workers: adaptive.Auto, resultcache: true}
 	defer func() { sess.closeStream() }()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -382,9 +414,12 @@ func (sess *session) dispatch(w *bufio.Writer, line string) {
 }
 
 // cmdStats renders the serving counters: the plan-cache line the
-// command always carried, plus a scheduler/morsel line and a server
-// line drawn from the metrics registry, so remote monitors see the
-// engine counters without the HTTP endpoint.
+// command always carried, plus a scheduler/morsel line, a server line
+// drawn from the metrics registry, and a shared-work line
+// (single-flight leads/attaches, result-cache effectiveness), so
+// remote monitors see the engine counters without the HTTP endpoint.
+// Clients parse every payload line as flat k=v fields, so added lines
+// are backward compatible.
 func (sess *session) cmdStats(w *bufio.Writer) {
 	st := sess.srv.CacheStats()
 	snap := sess.srv.reg.Snapshot()
@@ -404,13 +439,17 @@ func (sess *session) cmdStats(w *bufio.Writer) {
 		snap.Value("stetho_server_sessions_active"),
 		snap.Value("stetho_server_commands_total"),
 		snap.Value("stetho_server_bytes_written_total"))
+	rc := sess.srv.shared.Cache.Stats()
+	fmt.Fprintf(w, "sharedwork_led=%d sharedwork_attached=%d resultcache_hits=%d resultcache_misses=%d resultcache_len=%d resultcache_invalidations=%d\n",
+		sess.srv.shared.Flight.Led(), sess.srv.shared.Flight.Attached(),
+		rc.Hits, rc.Misses, rc.Len, rc.Invalidations)
 	fmt.Fprintln(w, ".")
 }
 
 func (sess *session) cmdSet(w *bufio.Writer, rest string) {
 	fields := strings.Fields(rest)
 	if len(fields) != 2 {
-		fmt.Fprintln(w, "err usage: SET <partitions|workers|morsel> <n|auto>")
+		fmt.Fprintln(w, "err usage: SET <partitions|workers|morsel|resultcache> <n|auto|on|off>")
 		return
 	}
 	// "auto" is the only spelling of adaptive sizing on the wire;
@@ -418,8 +457,23 @@ func (sess *session) cmdSet(w *bufio.Writer, rest string) {
 	// Auto sentinel — clamp through the shared rule (below 1 becomes
 	// 1), so a session can never compile under an out-of-range setting
 	// nor switch modes by accident. "SET morsel off" is the one
-	// non-numeric extra: it returns the session to the static lowering.
+	// non-numeric extra for the numeric settings: it returns the
+	// session to the static lowering. "SET resultcache on|off" is a
+	// pure boolean.
 	setting, value := strings.ToLower(fields[0]), fields[1]
+	if setting == "resultcache" {
+		switch strings.ToLower(value) {
+		case "on":
+			sess.resultcache = true
+		case "off":
+			sess.resultcache = false
+		default:
+			fmt.Fprintf(w, "err bad value %q (resultcache wants on or off)\n", value)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		return
+	}
 	if setting == "morsel" && strings.EqualFold(value, "off") {
 		sess.morsel = 0
 		fmt.Fprintln(w, "ok")
@@ -576,6 +630,15 @@ type countingSink struct{ n int }
 // Emit implements profiler.Sink.
 func (c *countingSink) Emit(profiler.Event) { c.n++ }
 
+// cmdQuery executes one statement. Sessions without a live TRACE
+// stream execute through the server's shared-work state: a statement
+// whose key (SQL + compile geometry) matches an in-flight execution
+// attaches to it and writes the same result bytes without running the
+// plan, and — when the server has a result cache and the session has
+// not opted out — completed outcomes are reused within their TTL.
+// Sessions that are streaming a trace always run solo: the UDP
+// dot-then-events protocol is per-session and cannot be replayed from
+// a shared outcome.
 func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 	srv := sess.srv
 	c, err := sess.compile(query)
@@ -583,11 +646,140 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 		fmt.Fprintf(w, "err %v\n", err)
 		return
 	}
-	plan := c.Plan
 	workers, autoTuned, tuneReason := c.ResolveExec(sess.workers)
 	morselRows, mauto, mreason := c.ResolveMorsel(sess.morsel)
 	autoTuned = autoTuned || mauto
 	tuneReason = adaptive.JoinReasons(tuneReason, mreason)
+	if sess.streamer != nil {
+		sess.querySolo(w, query, c, workers, morselRows, autoTuned, tuneReason)
+		return
+	}
+	key := sharedwork.Key{SQL: query, Partitions: sess.partitions,
+		Morsel: sess.morsel != 0, MorselRows: morselRows, Passes: srv.passSpec}
+	if sess.resultcache {
+		if out, ok := srv.shared.Cache.Get(key); ok {
+			// A cached outcome ran no plan and emitted no new events.
+			if srv.onQuery != nil {
+				srv.onQuery(0)
+			}
+			fmt.Fprintln(w, "ok")
+			WriteResult(w, out.Res)
+			fmt.Fprintln(w, ".")
+			return
+		}
+	}
+	out, err, attached, _ := srv.shared.Flight.Do(srv.ctx, key, func() (*sharedwork.Outcome, error) {
+		return sess.runShared(query, c, workers, morselRows, autoTuned, tuneReason)
+	})
+	if attached && err != nil && srv.ctx.Err() == nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The leader's client canceled; this session is still live, so
+		// its statement runs solo.
+		out, err = sess.runShared(query, c, workers, morselRows, autoTuned, tuneReason)
+		attached = false
+	}
+	if err != nil {
+		fmt.Fprintf(w, "err %v\n", err)
+		return
+	}
+	if srv.onQuery != nil {
+		if attached {
+			srv.onQuery(0)
+		} else {
+			srv.onQuery(len(out.Events))
+		}
+	}
+	if !attached && sess.resultcache {
+		srv.shared.Cache.Put(key, out)
+	}
+	fmt.Fprintln(w, "ok")
+	WriteResult(w, out.Res)
+	fmt.Fprintln(w, ".")
+}
+
+// runShared is the flight-leader body of the shared QUERY path. Unlike
+// querySolo — where a query nobody observes runs with no profiler —
+// the leader always collects the full event trace into an owned sink:
+// the outcome may be handed to attached sessions or the result cache,
+// whose consumers' serving counters and history pointers expect a
+// complete execution record. History is recorded here, inside the
+// shared run, so one shared execution is one history record.
+func (sess *session) runShared(query string, c planner.Compiled,
+	workers, morselRows int, autoTuned bool, tuneReason string) (*sharedwork.Outcome, error) {
+	srv := sess.srv
+	plan := c.Plan
+	sink := profiler.NewOwnedSliceSink(2 * len(plan.Instrs))
+	sinks := []profiler.Sink{sink}
+	var rec *tracestore.RunWriter
+	var hb *profiler.Batcher
+	if srv.history != nil {
+		var err error
+		rec, err = srv.history.Begin(tracestore.RunMeta{
+			SQL:          query,
+			Dot:          plancache.DotText(plan, c.Aux),
+			Partitions:   c.Partitions,
+			Workers:      workers,
+			Instructions: len(plan.Instrs),
+			AutoTuned:    autoTuned,
+			TuneReason:   tuneReason,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("history: %w", err)
+		}
+		hb = profiler.NewBatcher(rec, tracestore.DefaultAppendBatch, 0)
+		hb.Instrument(srv.reg)
+		sinks = append(sinks, hb)
+	}
+	start := time.Now()
+	res, err := srv.eng.RunContext(srv.ctx, plan, engine.Options{
+		Workers:    workers,
+		MorselRows: morselRows,
+		Profiler:   profiler.New(sinks...),
+		Label:      query,
+	})
+	elapsed := time.Since(start)
+	srv.latency.Observe(elapsed.Microseconds())
+	if hb != nil {
+		hb.Close() // flush the tail batch into the store
+	}
+	var runID uint64
+	if rec != nil {
+		st := tracestore.RunStats{ElapsedUs: elapsed.Microseconds()}
+		if err != nil {
+			st.Err = err.Error()
+		} else {
+			st.Rows = res.Rows()
+			st.CacheHit = c.Cached
+		}
+		if herr := rec.Finish(st); herr != nil && err == nil {
+			return nil, fmt.Errorf("history: %w", herr)
+		}
+		runID = rec.ID()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &sharedwork.Outcome{
+		Res:        res,
+		Events:     sink.Take(),
+		Elapsed:    elapsed,
+		RunID:      runID,
+		Partitions: c.Partitions,
+		Workers:    workers,
+		MorselRows: morselRows,
+		AutoTuned:  autoTuned,
+		TuneReason: tuneReason,
+		CacheHit:   c.Cached,
+	}, nil
+}
+
+// querySolo is the unshared QUERY path, used by sessions with a live
+// TRACE stream.
+func (sess *session) querySolo(w *bufio.Writer, query string, c planner.Compiled,
+	workers, morselRows int, autoTuned bool, tuneReason string) {
+	srv := sess.srv
+	plan := c.Plan
+	var err error
 	var dotText string
 	if sess.streamer != nil || srv.history != nil {
 		dotText = plancache.DotText(plan, c.Aux)
@@ -660,6 +852,7 @@ func (sess *session) cmdQuery(w *bufio.Writer, query string) {
 			st.Err = err.Error()
 		} else {
 			st.Rows = res.Rows()
+			st.CacheHit = c.Cached
 		}
 		if herr := rec.Finish(st); herr != nil && err == nil {
 			fmt.Fprintf(w, "err history: %v\n", herr)

@@ -300,7 +300,7 @@ func TestStatsCommandAndSharedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(payload) != 3 || !strings.Contains(payload[0], "cache_hits=") {
+	if len(payload) != 4 || !strings.Contains(payload[0], "cache_hits=") {
 		t.Fatalf("STATS payload = %q", payload)
 	}
 	if !strings.Contains(payload[1], "engine_runs=") || !strings.Contains(payload[1], "morsels_claimed=") {
@@ -308,6 +308,9 @@ func TestStatsCommandAndSharedCache(t *testing.T) {
 	}
 	if !strings.Contains(payload[2], "sessions_total=") || !strings.Contains(payload[2], "commands=") {
 		t.Fatalf("STATS server line = %q", payload[2])
+	}
+	if !strings.Contains(payload[3], "sharedwork_led=") || !strings.Contains(payload[3], "resultcache_hits=") {
+		t.Fatalf("STATS shared-work line = %q", payload[3])
 	}
 
 	// Different partition settings must compile separately.

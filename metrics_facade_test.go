@@ -411,8 +411,18 @@ func TestStressMetricsReaders(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	if got := db.Metrics().Value("stetho_engine_runs_total"); got < 8*6 {
-		t.Errorf("engine runs = %d, want >= %d", got, 8*6)
+	// Identical concurrent statements share work: every Exec completes
+	// (leader or attached), but only flight leaders run the engine.
+	st := db.Stats()
+	if st.Execs != 8*6 {
+		t.Errorf("execs = %d, want %d", st.Execs, 8*6)
+	}
+	if st.SharedLed+st.SharedAttached != 8*6 {
+		t.Errorf("led %d + attached %d = %d, want %d", st.SharedLed, st.SharedAttached,
+			st.SharedLed+st.SharedAttached, 8*6)
+	}
+	if got := db.Metrics().Value("stetho_engine_runs_total"); got != st.SharedLed {
+		t.Errorf("engine runs = %d, want one per flight leader (%d)", got, st.SharedLed)
 	}
 	if len(db.Progress()) != 0 {
 		t.Error("progress table not empty after all runs returned")

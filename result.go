@@ -92,9 +92,18 @@ type Stats struct {
 	// "auto: shape=scan rows=60175 procs=4 -> 8 partitions (...)".
 	AutoTuned  bool
 	TuneReason string
-	// CacheHit reports whether the optimized plan came from the shared
-	// plan cache (compilation was skipped entirely).
+	// CacheHit reports whether compilation was skipped: the optimized
+	// plan came from the shared plan cache, or a concurrent identical
+	// compilation was coalesced through the planner's single-flight and
+	// this call received its plan.
 	CacheHit bool
+	// Shared reports how the result was produced when this call did not
+	// run the plan itself: "attached" (deduplicated onto a concurrent
+	// identical statement's in-flight execution) or "resultcache"
+	// (served from the WithResultCache outcome cache). Empty for calls
+	// that executed. Shared results echo the producing run's resolved
+	// settings (Partitions/Workers/MorselRows) and its RunID.
+	Shared string
 	// RunID is the durable query-history id of this execution, usable
 	// with DB.History (Get, Replay, Compare). Zero when the DB was
 	// opened without WithHistory.

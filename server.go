@@ -21,20 +21,25 @@ type Server struct {
 // stops the listener and aborts in-flight query executions.
 //
 // The server shares the DB's engine, optimizer pipeline, compiled-plan
-// cache, and (when enabled) query history: TCP sessions and in-process
-// Exec callers serve from (and warm) the same plan state, their
-// executions land in the same durable trace store, and all of them
-// count into DB.Stats. With history enabled the protocol additionally
-// answers HISTORY LIST/TOP/INFO/TRACE/DOT/DIFF.
+// cache, shared-work state, and (when enabled) query history: TCP
+// sessions and in-process Exec callers serve from (and warm) the same
+// plan state, identical concurrent statements single-flight against
+// each other across both entry points (and reuse cached outcomes when
+// the DB was opened WithResultCache), their executions land in the
+// same durable trace store, and all of them count into DB.Stats. With
+// history enabled the protocol additionally answers HISTORY
+// LIST/TOP/INFO/TRACE/DOT/DIFF.
 func (db *DB) Serve(ctx context.Context, name, addr string) (*Server, error) {
 	cfg := server.Config{
-		Engine:   db.eng,
-		Cache:    db.cache,
-		NoCache:  db.cache == nil,
-		Pipeline: &db.pipeline,
-		PassSpec: db.passSpec,
-		OnQuery:  db.observeQuery,
-		Registry: db.reg,
+		Engine:        db.eng,
+		Cache:         db.cache,
+		NoCache:       db.cache == nil,
+		Pipeline:      &db.pipeline,
+		PassSpec:      db.passSpec,
+		OnQuery:       db.observeQuery,
+		Registry:      db.reg,
+		Shared:        db.shared,
+		CompileFlight: db.planner.Flight,
 	}
 	if db.hist != nil {
 		cfg.History = db.hist.st
@@ -147,8 +152,10 @@ func (r *Remote) Progress() ([]string, error) {
 // Stats fetches the server's serving counters (the STATS wire command)
 // parsed into a flat k=v map: the plan-cache figures plus the
 // scheduler/morsel counters (engine_runs, engine_instructions,
-// engine_steals, engine_parks, morsels_claimed, morsel_rows_scanned)
-// and the server-layer counters (sessions, commands, bytes_written).
+// engine_steals, engine_parks, morsels_claimed, morsel_rows_scanned),
+// the server-layer counters (sessions, commands, bytes_written), and
+// the shared-work counters (sharedwork_led, sharedwork_attached,
+// resultcache_hits/misses/len/invalidations).
 func (r *Remote) Stats() (map[string]int64, error) {
 	_, lines, err := r.c.Command("STATS")
 	if err != nil {

@@ -2,6 +2,7 @@ package stethoscope
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -17,6 +18,7 @@ import (
 	"stethoscope/internal/plancache"
 	"stethoscope/internal/planner"
 	"stethoscope/internal/profiler"
+	"stethoscope/internal/sharedwork"
 	"stethoscope/internal/sql"
 	"stethoscope/internal/storage"
 	"stethoscope/internal/tpch"
@@ -51,6 +53,8 @@ type config struct {
 	cacheSize   int            // compiled-plan cache capacity; 0 disables
 	history     *HistoryConfig // nil disables the durable query history
 	metricsAddr string         // non-empty: serve /metrics + pprof here
+	resultCache int            // result-cache capacity; 0 (default) disables
+	resultTTL   time.Duration  // result-cache entry lifetime; <= 0 never expires
 }
 
 // Option configures Open.
@@ -136,6 +140,25 @@ func WithPlanCacheSize(n int) Option {
 	}
 }
 
+// WithResultCache enables the shared result cache: up to n completed
+// query outcomes are retained for ttl and served — byte-identical, with
+// Result.Stats.Shared = "resultcache" — to repeated identical
+// statements without re-executing. The cache is keyed like the shared
+// execution flight (SQL text, partitions, morsel geometry, optimizer
+// passes) and shared by every Exec caller and server session of this
+// DB; it is invalidated whenever the dataset can change (DB.Persist).
+// ttl <= 0 means entries never expire by time. The default (option
+// omitted, or n <= 0) is no result caching: only concurrent identical
+// statements share work, via the always-on single-flight.
+func WithResultCache(n int, ttl time.Duration) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.resultCache, c.resultTTL = n, ttl
+	}
+}
+
 // WithMetricsAddr serves the observability HTTP endpoint on addr
 // ("127.0.0.1:0" picks a free port; see DB.MetricsAddr for the bound
 // address): /metrics in Prometheus text format, /progress as a JSON
@@ -180,8 +203,9 @@ type DB struct {
 	passSpec string
 	cat      *storage.Catalog
 	eng      *engine.Engine
-	cache    *plancache.Cache  // nil when caching is disabled
-	planner  planner.Planner   // the shared compile flow over cat/cache/pipeline
+	cache    *plancache.Cache // nil when caching is disabled
+	planner  planner.Planner  // the shared compile flow over cat/cache/pipeline
+	shared   *sharedwork.Shared
 	hist     *History          // nil when query history is disabled
 	dataMeta map[string]string // provenance recorded into persisted datasets
 
@@ -270,7 +294,16 @@ func Open(opts ...Option) (*DB, error) {
 		db.cache = plancache.New(cfg.cacheSize)
 		db.cache.Instrument(reg)
 	}
-	db.planner = planner.Planner{Cat: cat, Cache: db.cache, Pipeline: pl, PassSpec: db.passSpec}
+	db.planner = planner.Planner{Cat: cat, Cache: db.cache, Pipeline: pl,
+		PassSpec: db.passSpec, Flight: planner.NewCompileFlight()}
+	db.shared = &sharedwork.Shared{Flight: sharedwork.NewFlight()}
+	if cfg.resultCache > 0 {
+		db.shared.Cache = sharedwork.NewResultCache(cfg.resultCache, cfg.resultTTL)
+	}
+	db.shared.Instrument(reg)
+	reg.GaugeFunc("stetho_sharedwork_inflight", func() int64 {
+		return int64(db.shared.Flight.InFlight())
+	})
 	if cfg.history != nil {
 		hist, err := OpenHistoryConfig(*cfg.history)
 		if err != nil {
@@ -311,6 +344,10 @@ func (db *DB) Persist(dir string) error {
 	if err := batstore.Persist(dir, db.cat, db.dataMeta, 0); err != nil {
 		return fmt.Errorf("stethoscope: %w", err)
 	}
+	// The dataset boundary is the result cache's invalidation point: a
+	// persisted directory may be swapped under a future OpenPath, so
+	// outcomes cached before the snapshot must not outlive it.
+	db.shared.Cache.Purge()
 	return nil
 }
 
@@ -459,17 +496,89 @@ func (db *DB) compile(query string, partitions int, morsel bool) (planner.Compil
 // execution trace, the result table, and execution statistics. The
 // context cancels the execution: sequential runs stop between
 // instructions, dataflow runs stop dispatching work.
+//
+// Identical concurrent statements share work: Exec calls whose SQL and
+// compile geometry match an in-flight execution attach to it and
+// receive the same result without running the plan (Stats.Shared
+// reports "attached"); with WithResultCache configured, repeated
+// identical statements within the TTL are served from the result cache
+// ("resultcache"). Shared results are byte-identical to an unshared
+// execution — the sharing key includes everything that decides result
+// bytes (see internal/sharedwork) and excludes the worker count, which
+// never does.
 func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Result, error) {
 	ec := db.execConfig(opts)
 	comp, err := db.compile(query, ec.partitions, ec.morselOn)
 	if err != nil {
 		return nil, err
 	}
-	plan := comp.Plan
 	workers, autoTuned, tuneReason := comp.ResolveExec(ec.workers)
 	morselRows, mauto, mreason := comp.ResolveMorsel(ec.morselRequest())
 	autoTuned = autoTuned || mauto
 	tuneReason = adaptive.JoinReasons(tuneReason, mreason)
+	key := sharedwork.Key{SQL: query, Partitions: ec.partitions,
+		Morsel: ec.morselOn, MorselRows: morselRows, Passes: db.passSpec}
+	if out, ok := db.shared.Cache.Get(key); ok {
+		db.execs.Add(1)
+		return db.sharedResult(query, comp, out, "resultcache"), nil
+	}
+	out, err, attached, waiters := db.shared.Flight.Do(ctx, key, func() (*sharedwork.Outcome, error) {
+		return db.execOutcome(ctx, query, comp, workers, morselRows, autoTuned, tuneReason)
+	})
+	if attached && err != nil && ctx.Err() == nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The leader was canceled, this caller was not: its claim on the
+		// shared run died with the leader, so it runs solo.
+		out, err = db.execOutcome(ctx, query, comp, workers, morselRows, autoTuned, tuneReason)
+		attached, waiters = false, 0
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.execs.Add(1)
+	if attached {
+		return db.sharedResult(query, comp, out, "attached"), nil
+	}
+	// Leader path: this call executed. Event-throughput accounting is
+	// per execution, not per consumer — attached and cached consumers
+	// reuse the trace without recounting it.
+	db.events.Add(int64(len(out.Events)))
+	db.rate.Add(int64(len(out.Events)))
+	db.shared.Cache.Put(key, out)
+	events := out.Events
+	if waiters > 0 || db.shared.Cache != nil {
+		// The outcome's event slice is shared with followers and/or the
+		// result cache; trace.FromEventsOwned mutates, so own a copy.
+		events = out.CloneEvents()
+	}
+	return &Result{
+		traceView: traceView{events: events},
+		Query:     query,
+		Stats: Stats{
+			Optimizer:    comp.Opt,
+			Elapsed:      out.Elapsed,
+			Instructions: len(comp.Plan.Instrs),
+			Partitions:   out.Partitions,
+			Workers:      out.Workers,
+			MorselRows:   out.MorselRows,
+			AutoTuned:    out.AutoTuned,
+			TuneReason:   out.TuneReason,
+			CacheHit:     out.CacheHit,
+			RunID:        out.RunID,
+		},
+		plan: comp.Plan,
+		res:  out.Res,
+	}, nil
+}
+
+// execOutcome runs one compiled query to completion under the profiler
+// and packages the execution as a shareable Outcome — the flight-leader
+// body of Exec. History recording happens here, inside the shared run,
+// so one shared execution is one history record and every consumer's
+// RunID points at it.
+func (db *DB) execOutcome(ctx context.Context, query string, comp planner.Compiled,
+	workers, morselRows int, autoTuned bool, tuneReason string) (*sharedwork.Outcome, error) {
+	plan := comp.Plan
 	db.inflight.Add(1)
 	defer db.inflight.Add(-1)
 	// Two events (start + done) per instruction: preallocate exactly.
@@ -487,6 +596,7 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 	var rec *tracestore.RunWriter
 	var hb *profiler.Batcher
 	if db.hist != nil {
+		var err error
 		rec, err = db.hist.st.Begin(tracestore.RunMeta{
 			SQL:          query,
 			Dot:          plancache.DotText(plan, comp.Aux),
@@ -530,28 +640,44 @@ func (db *DB) Exec(ctx context.Context, query string, opts ...ExecOption) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	events := sink.Take()
-	db.execs.Add(1)
-	db.events.Add(int64(len(events)))
-	db.rate.Add(int64(len(events)))
+	return &sharedwork.Outcome{
+		Res:        res,
+		Events:     sink.Take(),
+		Elapsed:    elapsed,
+		RunID:      runID,
+		Partitions: comp.Partitions,
+		Workers:    workers,
+		MorselRows: morselRows,
+		AutoTuned:  autoTuned,
+		TuneReason: tuneReason,
+		CacheHit:   comp.Cached,
+	}, nil
+}
+
+// sharedResult builds the Result for a consumer that did not run the
+// plan (attached to an in-flight run, or served from the result cache).
+// The outcome stays shared, so its events are always copied; the Stats
+// echo the producing run's resolved settings and history id.
+func (db *DB) sharedResult(query string, comp planner.Compiled, out *sharedwork.Outcome, via string) *Result {
 	return &Result{
-		traceView: traceView{events: events},
+		traceView: traceView{events: out.CloneEvents()},
 		Query:     query,
 		Stats: Stats{
 			Optimizer:    comp.Opt,
-			Elapsed:      elapsed,
-			Instructions: len(plan.Instrs),
-			Partitions:   comp.Partitions,
-			Workers:      workers,
-			MorselRows:   morselRows,
-			AutoTuned:    autoTuned,
-			TuneReason:   tuneReason,
-			CacheHit:     comp.Cached,
-			RunID:        runID,
+			Elapsed:      out.Elapsed,
+			Instructions: len(comp.Plan.Instrs),
+			Partitions:   out.Partitions,
+			Workers:      out.Workers,
+			MorselRows:   out.MorselRows,
+			AutoTuned:    out.AutoTuned,
+			TuneReason:   out.TuneReason,
+			CacheHit:     out.CacheHit,
+			RunID:        out.RunID,
+			Shared:       via,
 		},
-		plan: plan,
-		res:  res,
-	}, nil
+		plan: comp.Plan,
+		res:  out.Res,
+	}
 }
 
 // Explain compiles and optimizes the query without executing it and
@@ -587,6 +713,17 @@ type DBStats struct {
 	// DB's lifetime, so a long-idle server reports 0 and a fresh burst
 	// reports the burst instead of a decayed average.
 	EventsPerSec float64
+	// SharedLed and SharedAttached report single-flight execution
+	// sharing: executions that ran as flight leaders vs. executions
+	// served by attaching to a concurrent identical run. Attached
+	// executions still count in Execs — they completed a caller's query
+	// — but ran no plan.
+	SharedLed      int64
+	SharedAttached int64
+	// ResultCache reports result-cache effectiveness (hits, misses,
+	// evictions, expirations, invalidations, occupancy). Zero-valued
+	// unless the DB was opened WithResultCache.
+	ResultCache sharedwork.CacheStats
 	// Uptime is the time since Open.
 	Uptime time.Duration
 }
@@ -613,6 +750,9 @@ func (db *DB) Stats() DBStats {
 	if db.cache != nil {
 		st.Cache = db.cache.Stats()
 	}
+	st.SharedLed = db.shared.Flight.Led()
+	st.SharedAttached = db.shared.Flight.Attached()
+	st.ResultCache = db.shared.Cache.Stats()
 	st.EventsPerSec = db.rate.PerSec()
 	return st
 }
